@@ -1,0 +1,215 @@
+//! Criterion micro-benchmarks for ABase's hot paths.
+//!
+//! Run with `cargo bench -p abase-bench`. These cover the per-request-cost
+//! components (cache ops, WFQ scheduling, quota checks, RESP parsing, RU
+//! math) and the heavier periodic jobs (storage engine ops, forecasting fit,
+//! rescheduling rounds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use abase_cache::aulru::{AuLruCache, AuLruConfig};
+use abase_cache::{LruCache, SaLruCache};
+use abase_forecast::prophet::{ProphetConfig, ProphetModel};
+use abase_forecast::psd::dominant_period;
+use abase_lavastore::{Db, DbConfig};
+use abase_proto::{Command, RespValue};
+use abase_quota::{RuEstimator, TokenBucket};
+use abase_scheduler::{LoadVector, NodeState, PoolState, ReplicaLoad, Rescheduler};
+use abase_wfq::{CpuTickBudget, DualWfq, DualWfqConfig, WfqItem};
+use abase_workload::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("lru_insert_get", |b| {
+        let mut cache: LruCache<u64, u64> = LruCache::new(1 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            cache.insert(i % 10_000, i, 64);
+            black_box(cache.get(&((i * 7) % 10_000)));
+            i += 1;
+        });
+    });
+    group.bench_function("salru_insert_get", |b| {
+        let mut cache: SaLruCache<u64, u64> = SaLruCache::new(1 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            cache.insert(i % 10_000, i, 64 + (i % 5_000) as usize);
+            black_box(cache.get(&((i * 7) % 10_000)));
+            i += 1;
+        });
+    });
+    group.bench_function("aulru_get_hit", |b| {
+        let mut cache: AuLruCache<u64, u64> = AuLruCache::new(AuLruConfig::default());
+        for k in 0..1_000u64 {
+            cache.insert(k, k, 64, 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(cache.get(&(i % 1_000), 1_000));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_wfq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wfq");
+    group.bench_function("push_pop_cycle", |b| {
+        let mut q: DualWfq<u64> = DualWfq::new(DualWfqConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            q.push_cpu(WfqItem {
+                tenant: (i % 8) as u32,
+                cost: 1.0,
+                weight: 0.125,
+                payload: i,
+            });
+            if i % 16 == 15 {
+                black_box(q.drain_cpu(CpuTickBudget { ru: 16.0 }, false));
+            }
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_quota(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quota");
+    group.bench_function("token_bucket_admit", |b| {
+        let mut bucket = TokenBucket::new(1e9, 1e9, 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            black_box(bucket.try_consume(now, 1.0));
+        });
+    });
+    group.bench_function("ru_estimate_and_record", |b| {
+        let mut est = RuEstimator::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            est.record_read(1024 + i % 2048, abase_quota::ru::ReadOutcome::Miss);
+            black_box(est.estimate_read_ru());
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_resp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resp");
+    let wire = Command::Set {
+        key: "user:12345".into(),
+        value: bytes::Bytes::from(vec![7u8; 512]),
+        ttl_secs: Some(60),
+    }
+    .to_resp()
+    .to_bytes();
+    group.bench_function("parse_set_command", |b| {
+        b.iter(|| {
+            let (value, _) = RespValue::parse(black_box(&wire)).unwrap().unwrap();
+            black_box(Command::from_resp(&value).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_lavastore(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("abase-bench-db-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = Db::open(&dir, DbConfig::default()).unwrap();
+    for i in 0..10_000u64 {
+        let key = format!("key-{i:08}");
+        db.put(key.as_bytes(), &[0u8; 256], None, 0).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_to_quiescence(0).unwrap();
+    let mut group = c.benchmark_group("lavastore");
+    group.bench_function("point_get_sst", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{:08}", (i * 37) % 10_000);
+            black_box(db.get(key.as_bytes(), 0).unwrap());
+            i += 1;
+        });
+    });
+    group.bench_function("put_memtable", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("put-{:08}", i % 4_096);
+            db.put(key.as_bytes(), &[1u8; 256], None, 0).unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let values: Vec<f64> = (0..720)
+        .map(|t| 100.0 + 0.1 * t as f64 + 30.0 * (t as f64 * std::f64::consts::TAU / 24.0).sin())
+        .collect();
+    let mut group = c.benchmark_group("forecast");
+    group.sample_size(20);
+    group.bench_function("psd_dominant_period_720", |b| {
+        b.iter(|| black_box(dominant_period(&values, 20.0)));
+    });
+    group.bench_function("prophet_fit_720", |b| {
+        b.iter(|| black_box(ProphetModel::fit(&values, Some(24), ProphetConfig::default())));
+    });
+    group.finish();
+}
+
+fn bench_rescheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rescheduler");
+    group.sample_size(20);
+    group.bench_function("round_100_nodes", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter_batched(
+            || {
+                let mut pool = PoolState::new(
+                    (0..100).map(|i| NodeState::new(i, 1_000.0, 10_000.0)).collect(),
+                );
+                for id in 0..800u64 {
+                    let node = (id % 30) as usize;
+                    pool.nodes[node].add_replica(ReplicaLoad {
+                        id,
+                        tenant: (id % 50) as u32,
+                        partition: id,
+                        ru: LoadVector::flat(rng.gen_range(5.0..40.0)),
+                        storage: rng.gen_range(50.0..400.0),
+                    });
+                }
+                pool
+            },
+            |mut pool| {
+                black_box(Rescheduler::default().reschedule_round(&mut pool));
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1_000_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("zipf_sample_1m_keys", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_caches,
+    bench_wfq,
+    bench_quota,
+    bench_resp,
+    bench_lavastore,
+    bench_forecast,
+    bench_rescheduler,
+    bench_zipf
+);
+criterion_main!(benches);

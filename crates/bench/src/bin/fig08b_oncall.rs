@@ -1,0 +1,52 @@
+//! Figure 8b — Oncall (urgent contact) amount decreases by 65 %.
+//!
+//! "We tracked the change in the number of upscaling oncalls over
+//! approximately six months before and after the deployment … After
+//! deployment, the number of oncalls decreased by approximately 65 %."
+
+use abase_bench::{banner, fmt, sparkline};
+use abase_core::oncall::{run_oncall_study, OncallStudyConfig, ScalingMode};
+
+fn main() {
+    banner(
+        "Figure 8b",
+        "weekly up-scaling oncall tickets, reactive vs. predictive",
+        "~65% reduction after deploying predictive autoscaling",
+    );
+    let config = OncallStudyConfig {
+        tenants: 200,
+        weeks: 28,
+        ..Default::default()
+    };
+    // Pre-deployment half: reactive; post-deployment half: predictive —
+    // spliced into one timeline like the paper's before/after plot.
+    let reactive = run_oncall_study(&config, ScalingMode::Reactive);
+    let predictive = run_oncall_study(&config, ScalingMode::Predictive);
+    let half = config.weeks / 2;
+    let timeline: Vec<u32> = reactive.weekly[..half]
+        .iter()
+        .chain(&predictive.weekly[half..])
+        .copied()
+        .collect();
+    println!("(200 tenants, 28 weeks, autoscaling deployed at week {half})\n");
+    println!(
+        "weekly oncalls: [{}]",
+        sparkline(&timeline.iter().map(|&c| f64::from(c)).collect::<Vec<_>>())
+    );
+    for (week, count) in timeline.iter().enumerate() {
+        let marker = if week == half { "  <-- deploy autoscaling" } else { "" };
+        println!("  week {week:>2}: {}{marker}", "#".repeat(*count as usize));
+    }
+    let before: f64 =
+        timeline[..half].iter().map(|&c| f64::from(c)).sum::<f64>() / half as f64;
+    let after: f64 = timeline[half..].iter().map(|&c| f64::from(c)).sum::<f64>()
+        / (config.weeks - half) as f64;
+    let reduction = 1.0 - after / before.max(1e-9);
+    println!(
+        "\nmean weekly oncalls: before {} after {} -> reduction {}%",
+        fmt(before, 1),
+        fmt(after, 1),
+        fmt(reduction * 100.0, 0)
+    );
+    println!("paper: ~65% reduction");
+}

@@ -1,0 +1,141 @@
+//! Table 2 — Benefit summary by proxy cache.
+//!
+//! Six tenants (three social-media, three e-commerce). "After activating the
+//! proxy cache and dividing the N proxies into groups, the cache hit ratio
+//! increased (5 %→86 %, 5 %→67 %, 10 %→33 %, 24 %→60 % ×3), saving 38–85 % of
+//! RU." The *before* state is the original random routing: every proxy sees
+//! the whole keyspace, so a small per-proxy cache yields single-digit hit
+//! ratios; grouping concentrates each key on `N/n` proxies.
+
+use abase_bench::{banner, pct, print_table};
+use abase_core::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
+use abase_cache::aulru::AuLruConfig;
+use abase_util::clock::secs;
+use abase_workload::{KeyspaceConfig, RequestGen};
+
+struct Case {
+    name: &'static str,
+    /// Paper's proxy fleet size (we scale by /25 to keep the sim light; the
+    /// hit ratio depends on keys-per-proxy, which the scaling preserves).
+    n_proxies: u32,
+    n_groups: u32,
+    paper_before: f64,
+    paper_after: f64,
+    paper_saving: f64,
+    n_keys: usize,
+    zipf: f64,
+}
+
+const CASES: &[Case] = &[
+    // Group counts are the paper's (#Group column); keyspace size and skew
+    // are calibrated so the *before* hit ratio lands at the paper's baseline.
+    Case { name: "Social Media 1", n_proxies: 150, n_groups: 75, paper_before: 0.05, paper_after: 0.86, paper_saving: 0.85, n_keys: 189_000, zipf: 0.34 },
+    Case { name: "Social Media 2", n_proxies: 64,  n_groups: 32, paper_before: 0.05, paper_after: 0.67, paper_saving: 0.70, n_keys: 109_000, zipf: 0.25 },
+    Case { name: "Social Media 3", n_proxies: 30,  n_groups: 15, paper_before: 0.10, paper_after: 0.33, paper_saving: 0.38, n_keys: 380_000, zipf: 0.56 },
+    Case { name: "E-Commerce 1",   n_proxies: 30,  n_groups: 15, paper_before: 0.24, paper_after: 0.60, paper_saving: 0.61, n_keys: 137_000, zipf: 0.66 },
+    Case { name: "E-Commerce 2",   n_proxies: 60,  n_groups: 15, paper_before: 0.24, paper_after: 0.60, paper_saving: 0.57, n_keys: 137_000, zipf: 0.66 },
+    Case { name: "E-Commerce 3",   n_proxies: 168, n_groups: 15, paper_before: 0.24, paper_after: 0.60, paper_saving: 0.79, n_keys: 137_000, zipf: 0.66 },
+];
+
+/// Run one configuration and return (hit ratio, ru saved fraction).
+fn run(case: &Case, n_groups: u32, seed: u64) -> (f64, f64) {
+    let mut plane = ProxyPlane::new(
+        1,
+        ProxyPlaneConfig {
+            n_proxies: case.n_proxies,
+            n_groups,
+            tenant_quota_ru: f64::INFINITY,
+            cache: AuLruConfig {
+                capacity_bytes: 2 << 20, // small per-proxy cache (paper: <10GB total)
+                ttl: secs(3600),
+                ..Default::default()
+            },
+            cache_enabled: true,
+            quota_enabled: false,
+        },
+        0,
+        seed,
+    );
+    let mut gen = RequestGen::new(
+        KeyspaceConfig {
+            n_keys: case.n_keys,
+            zipf_s: case.zipf,
+            read_ratio: 1.0,
+            value_size: abase_workload::LogNormal::from_median_p90(1024.0, 1.2),
+            ..Default::default()
+        },
+        seed,
+    );
+    let warmup = 600_000usize;
+    let measured = 400_000usize;
+    let mut hits = 0u64;
+    let mut ru_without_cache = 0.0f64;
+    let mut ru_with_cache = 0.0f64;
+    for i in 0..warmup + measured {
+        let in_measurement = i >= warmup;
+        let spec = gen.next_request();
+        let now = i as u64 * 1_000; // 1 ms apart
+        let per_read_ru = spec.value_bytes as f64 / 2048.0;
+        if in_measurement {
+            ru_without_cache += per_read_ru;
+        }
+        match plane.submit(spec.key_rank as u64, false, now) {
+            ProxyDecision::CacheHit { .. } => {
+                if in_measurement {
+                    hits += 1;
+                }
+            }
+            ProxyDecision::Forward { proxy } => {
+                if in_measurement {
+                    ru_with_cache += per_read_ru;
+                }
+                plane.on_read_complete(proxy, spec.key_rank as u64, spec.value_bytes, false, now);
+            }
+            ProxyDecision::Rejected { .. } => unreachable!("quota disabled"),
+        }
+    }
+    (
+        hits as f64 / measured as f64,
+        1.0 - ru_with_cache / ru_without_cache,
+    )
+}
+
+fn main() {
+    banner(
+        "Table 2",
+        "proxy cache benefit: hit ratio and RU saving per tenant",
+        "hit 5%→86% … 24%→60%; RU savings 38%–85%",
+    );
+    println!("(proxy fleets scaled down vs production; keys-per-group ratios preserved)\n");
+    let mut rows = Vec::new();
+    for (i, case) in CASES.iter().enumerate() {
+        // Before: random routing — one group spanning every proxy, so each
+        // proxy sees the whole keyspace (the paper's 5–24 % baseline).
+        let (before_hit, _) = run(case, 1, 1000 + i as u64);
+        // After: the Table-2 grouping concentrates each key on N/n proxies.
+        let (after_hit, saving) = run(case, case.n_groups, 2000 + i as u64);
+        rows.push(vec![
+            case.name.to_string(),
+            format!("{}", case.n_proxies),
+            format!("{}", case.n_groups),
+            format!("{} -> {}", pct(before_hit), pct(after_hit)),
+            format!("{} -> {}", pct(case.paper_before), pct(case.paper_after)),
+            pct(saving),
+            pct(case.paper_saving),
+        ]);
+    }
+    print_table(
+        &[
+            "Tenant",
+            "#Proxy",
+            "#Group",
+            "hit (measured)",
+            "hit (paper)",
+            "RU saved",
+            "RU saved (paper)",
+        ],
+        &rows,
+    );
+    println!("\nMechanism check: grouping multiplies per-proxy keyspace locality by N/n;");
+    println!("the before-state floor comes from each proxy seeing the full keyspace.");
+}

@@ -1,0 +1,73 @@
+//! §6.4 — Resource utilization: single-tenant ABase-Pre vs multi-tenant ABase.
+//!
+//! "The average utilization rates of CPU, Memory, and Disk for each machine in
+//! ABase-Pre were only 17 %, 52 %, and 27 %. After upgrading to ABase, these
+//! rates increased to 44 %, 63 %, and 46 %."
+
+use abase_bench::{banner, pct, print_table};
+use abase_core::meta::RecoveryModel;
+use abase_core::placement::{
+    multi_tenant_utilization, single_tenant_utilization, MachineSpec,
+};
+use abase_workload::TenantPopulation;
+
+fn main() {
+    banner(
+        "§6.4",
+        "per-machine utilization: dedicated vs pooled deployment",
+        "CPU 17%→44%, Memory 52%→63%, Disk 27%→46%",
+    );
+    let population = TenantPopulation::generate(400, 64);
+    let machine = MachineSpec::default();
+    let single = single_tenant_utilization(&population, machine);
+    let multi = multi_tenant_utilization(&population, machine, 0.2, 1.7);
+    let rows = vec![
+        vec![
+            "CPU".into(),
+            pct(single.cpu),
+            pct(multi.cpu),
+            "17% -> 44%".into(),
+        ],
+        vec![
+            "Memory".into(),
+            pct(single.memory),
+            pct(multi.memory),
+            "52% -> 63%".into(),
+        ],
+        vec![
+            "Disk".into(),
+            pct(single.disk),
+            pct(multi.disk),
+            "27% -> 46%".into(),
+        ],
+        vec![
+            "machines".into(),
+            format!("{}", single.machines),
+            format!("{}", multi.machines),
+            "-".into(),
+        ],
+    ];
+    print_table(
+        &["resource", "ABase-Pre (dedicated)", "ABase (pooled)", "paper"],
+        &rows,
+    );
+    println!("\n§3.3 robustness bounds that drive the gap:");
+    println!(
+        "  single-tenant 3-replica utilization cap: {}",
+        pct(RecoveryModel::single_tenant_max_utilization())
+    );
+    println!(
+        "  multi-tenant N-node cap at N=20: {} (load spreads 1/N on failure)",
+        pct(RecoveryModel::multi_tenant_max_utilization(20))
+    );
+    let model = RecoveryModel {
+        failed_node_bytes: 2e12,
+        per_node_bandwidth: 200e6,
+        surviving_nodes: 20,
+    };
+    println!(
+        "  recovery of a 2 TB node: single replacement {}s vs parallel {}s",
+        model.single_node_recovery_secs(),
+        model.parallel_recovery_secs()
+    );
+}

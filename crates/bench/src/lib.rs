@@ -1,0 +1,111 @@
+//! # abase-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation (§6) plus ablation studies, and criterion micro-benchmarks.
+//!
+//! Run a figure regenerator with e.g.
+//! `cargo run --release -p abase-bench --bin fig06_proxy_quota`, or all
+//! criterion micro-benches with `cargo bench -p abase-bench`.
+//!
+//! Every binary prints the paper's reference numbers next to the measured
+//! ones; EXPERIMENTS.md records a captured run.
+
+#![deny(missing_docs)]
+
+/// Print a fixed-width ASCII table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |ch: char| {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&ch.to_string().repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    println!("{}", line('-'));
+    let mut head = String::from("|");
+    for (h, w) in headers.iter().zip(&widths) {
+        head.push_str(&format!(" {h:<w$} |"));
+    }
+    println!("{head}");
+    println!("{}", line('='));
+    for row in rows {
+        let mut out = String::from("|");
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        println!("{out}");
+    }
+    println!("{}", line('-'));
+}
+
+/// Render a compact unicode sparkline for a series (for time-series figures).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Format a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a ratio as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.935), "93.5%");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+}

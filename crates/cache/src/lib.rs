@@ -1,0 +1,28 @@
+//! # abase-cache
+//!
+//! ABase's dual-layer caching mechanism (paper §4.4):
+//!
+//! * [`lru`] — a classic byte-capacity LRU cache. This is the baseline the paper's
+//!   size-aware strategy improves on, and the building block for the other policies.
+//! * [`salru`] — **Size-Aware LRU (SA-LRU)**, the DataNode-layer cache: items are
+//!   segregated into size classes with individual eviction policies, and eviction
+//!   prefers classes that "occupy more memory while yielding fewer cache hits".
+//! * [`aulru`] — **Active-Update LRU (AU-LRU)**, the proxy-layer cache: entries carry
+//!   a TTL, and hot entries are proactively refreshed shortly before they expire so
+//!   that the expiry of a hot key never produces a thundering herd on the data node.
+//!
+//! All caches are sized in **bytes** (not entry counts) because the paper's workloads
+//! span 0.1 KB comments to 5 MB LLM KV-cache blobs (Table 1), and count-based caches
+//! behave pathologically under that spread.
+
+#![deny(missing_docs)]
+
+pub mod aulru;
+pub mod lru;
+pub mod salru;
+pub mod stats;
+
+pub use aulru::{AuLruCache, RefreshCandidate};
+pub use lru::LruCache;
+pub use salru::SaLruCache;
+pub use stats::CacheStats;

@@ -1,0 +1,45 @@
+//! # abase-core
+//!
+//! The ABase multi-tenant NoSQL serverless database (paper §3–§4): resource
+//! pools of DataNodes hosting hash partitions of many tenants, a proxy plane
+//! with active-update caching and limited fan-out hash routing, and a control
+//! plane (meta server, autoscaler, rescheduler) — plus the discrete-time
+//! cluster simulator that reproduces the paper's evaluation.
+//!
+//! Module map:
+//!
+//! * [`types`] — ids and shared request/response types.
+//! * [`engine`] — the real data path: RESP [`abase_proto::Command`]s executed
+//!   against a [`abase_lavastore::Db`] with tenant/table namespacing and TTLs.
+//! * [`node`] — `DataNodeSim`: partition quotas → four dual-layer WFQs →
+//!   SA-LRU cache → I/O cost model, driven in virtual-time ticks.
+//! * [`proxy`] — the tenant proxy plane: AU-LRU proxy cache, proxy quotas with
+//!   meta-server clawback, and limited fan-out hash routing over proxy groups.
+//! * [`meta`] — the meta server: tenant traffic monitoring, routing tables,
+//!   and the §3.3 parallel-recovery model.
+//! * [`cluster`] — the simulation driver tying workload generators, proxies,
+//!   and nodes together; produces the per-minute series behind Figures 5–7.
+//! * [`oncall`] — the Figure 8b oncall model (reactive vs. predictive scaling).
+//! * [`placement`] — the §6.4 single-tenant vs multi-tenant utilization
+//!   comparison and the §3.3 robustness arithmetic.
+//! * [`server`] — a TCP front end speaking RESP2 over the table engine, so
+//!   any Redis client can talk to a node.
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod engine;
+pub mod meta;
+pub mod node;
+pub mod oncall;
+pub mod placement;
+pub mod proxy;
+pub mod server;
+pub mod types;
+
+pub use cluster::{IsolationExperiment, MinutePoint, TenantSpec};
+pub use engine::TableEngine;
+pub use server::RespServer;
+pub use node::{DataNodeConfig, DataNodeSim};
+pub use proxy::{ProxyPlane, ProxyPlaneConfig};
+pub use types::{NodeId, PartitionId, ProxyId, TenantId};

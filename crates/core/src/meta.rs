@@ -1,0 +1,143 @@
+//! The meta server: centralized management (paper §3.2) and the recovery /
+//! robustness arithmetic of §3.3.
+//!
+//! In the simulator the meta server owns the tenant→partition→node routing
+//! table, monitors per-tenant traffic to drive the asynchronous proxy-quota
+//! clawback, and models parallel replica reconstruction after a node failure.
+
+use crate::types::{NodeId, PartitionId, TenantId};
+use abase_quota::TenantQuotaMonitor;
+use abase_util::clock::SimTime;
+use std::collections::HashMap;
+
+/// Routing and control state.
+#[derive(Debug)]
+pub struct MetaServer {
+    /// partition → primary node.
+    routing: HashMap<PartitionId, NodeId>,
+    /// tenant → its partitions.
+    tenant_partitions: HashMap<TenantId, Vec<PartitionId>>,
+    /// Traffic monitor backing the proxy boost decision.
+    pub monitor: TenantQuotaMonitor,
+}
+
+impl MetaServer {
+    /// A meta server whose traffic monitor uses the given sliding window.
+    pub fn new(monitor_window: SimTime) -> Self {
+        Self {
+            routing: HashMap::new(),
+            tenant_partitions: HashMap::new(),
+            monitor: TenantQuotaMonitor::new(monitor_window),
+        }
+    }
+
+    /// Register a partition on a node.
+    pub fn assign_partition(&mut self, tenant: TenantId, partition: PartitionId, node: NodeId) {
+        self.routing.insert(partition, node);
+        self.tenant_partitions.entry(tenant).or_default().push(partition);
+    }
+
+    /// Node currently serving `partition`.
+    pub fn route(&self, partition: PartitionId) -> Option<NodeId> {
+        self.routing.get(&partition).copied()
+    }
+
+    /// Partitions of `tenant`.
+    pub fn partitions_of(&self, tenant: TenantId) -> &[PartitionId] {
+        self.tenant_partitions
+            .get(&tenant)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Move a partition to another node (rescheduling/migration).
+    pub fn move_partition(&mut self, partition: PartitionId, to: NodeId) {
+        self.routing.insert(partition, to);
+    }
+}
+
+/// The §3.3 recovery model.
+///
+/// When a DataNode fails, "the MetaServer coordinates parallel replica
+/// reconstruction across operational nodes, thereby effectively utilizing
+/// multi-node disk I/O bandwidth". A single-tenant replacement node instead
+/// restores every replica through its own disk alone.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryModel {
+    /// Bytes of replica data the failed node held.
+    pub failed_node_bytes: f64,
+    /// Per-node rebuild bandwidth (bytes/second).
+    pub per_node_bandwidth: f64,
+    /// Surviving nodes able to participate in reconstruction.
+    pub surviving_nodes: u32,
+}
+
+impl RecoveryModel {
+    /// Recovery time when one replacement node must ingest everything.
+    pub fn single_node_recovery_secs(&self) -> f64 {
+        self.failed_node_bytes / self.per_node_bandwidth
+    }
+
+    /// Recovery time with parallel reconstruction across survivors (both the
+    /// read and write sides spread across `surviving_nodes` disks).
+    pub fn parallel_recovery_secs(&self) -> f64 {
+        self.failed_node_bytes / (self.per_node_bandwidth * f64::from(self.surviving_nodes))
+    }
+
+    /// §3.3 utilization bound for a single-tenant 3-replica system: a node
+    /// failure moves 3/2 of a node's load onto the survivors, so utilization
+    /// must stay below 2/3.
+    pub fn single_tenant_max_utilization() -> f64 {
+        2.0 / 3.0
+    }
+
+    /// §3.3 utilization bound for an N-node multi-tenant pool: failure load
+    /// spreads as 1/N per survivor, allowing utilization up to `N/(N+1)`.
+    pub fn multi_tenant_max_utilization(n_nodes: u32) -> f64 {
+        let n = f64::from(n_nodes);
+        n / (n + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abase_util::clock::secs;
+
+    #[test]
+    fn routing_roundtrip() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_partition(1, 100, 5);
+        m.assign_partition(1, 101, 6);
+        assert_eq!(m.route(100), Some(5));
+        assert_eq!(m.route(999), None);
+        assert_eq!(m.partitions_of(1), &[100, 101]);
+        assert!(m.partitions_of(2).is_empty());
+        m.move_partition(100, 9);
+        assert_eq!(m.route(100), Some(9));
+    }
+
+    #[test]
+    fn parallel_recovery_is_n_times_faster() {
+        let model = RecoveryModel {
+            failed_node_bytes: 1e12,
+            per_node_bandwidth: 100e6,
+            surviving_nodes: 20,
+        };
+        let single = model.single_node_recovery_secs();
+        let parallel = model.parallel_recovery_secs();
+        assert!((single / parallel - 20.0).abs() < 1e-9);
+        assert!((single - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_bounds_match_paper() {
+        assert!((RecoveryModel::single_tenant_max_utilization() - 2.0 / 3.0).abs() < 1e-12);
+        // Large pools sustain near-full utilization.
+        assert!(RecoveryModel::multi_tenant_max_utilization(20) > 0.95);
+        assert!(
+            RecoveryModel::multi_tenant_max_utilization(3)
+                > RecoveryModel::single_tenant_max_utilization()
+        );
+    }
+}

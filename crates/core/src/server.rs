@@ -1,0 +1,285 @@
+//! A TCP server speaking RESP2 over the table engine.
+//!
+//! This is the minimal network front end a single DataNode exposes: clients
+//! connect with any Redis client, issue the supported command subset, and are
+//! namespaced by a tenant id chosen at connect time via `AUTH <tenant>`
+//! (tenant 0 until authenticated). One OS thread per connection — connection
+//! counts in the experiments are small, and the engine itself is internally
+//! synchronized.
+
+use crate::engine::TableEngine;
+use abase_proto::{Command, RespValue};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A running RESP server.
+pub struct RespServer {
+    engine: Arc<TableEngine>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    /// Virtual time source: servers outside the simulator tick this from wall
+    /// time; tests drive it manually.
+    clock_micros: Arc<AtomicU64>,
+}
+
+impl RespServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`) over an engine.
+    pub fn bind(engine: Arc<TableEngine>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            engine,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            clock_micros: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Handle for advancing the server's virtual clock.
+    pub fn clock(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.clock_micros)
+    }
+
+    /// Handle that stops the accept loop (after the next connection attempt).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accept connections until shut down; one thread per connection.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let engine = Arc::clone(&self.engine);
+            let clock = Arc::clone(&self.clock_micros);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, engine, clock);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serve one client connection: incremental RESP parsing, one reply per
+/// command, `AUTH <tenant>` selects the namespace.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: Arc<TableEngine>,
+    clock: Arc<AtomicU64>,
+) -> std::io::Result<()> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut tenant: u32 = 0;
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // client closed
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+        // Drain as many complete frames as arrived.
+        loop {
+            let parsed = match RespValue::parse(&buffer) {
+                Ok(Some((value, used))) => Some((value, used)),
+                Ok(None) => None,
+                Err(e) => {
+                    let reply = RespValue::Error(format!("ERR protocol: {e}"));
+                    stream.write_all(&reply.to_bytes())?;
+                    return Ok(());
+                }
+            };
+            let Some((value, used)) = parsed else { break };
+            buffer.drain(..used);
+            let reply = dispatch(&value, &engine, &clock, &mut tenant);
+            stream.write_all(&reply.to_bytes())?;
+        }
+    }
+}
+
+fn dispatch(
+    value: &RespValue,
+    engine: &TableEngine,
+    clock: &AtomicU64,
+    tenant: &mut u32,
+) -> RespValue {
+    // AUTH is handled at the connection layer (it selects the tenant).
+    if let RespValue::Array(Some(items)) = value {
+        if items.len() == 2 {
+            if let (RespValue::Bulk(Some(name)), RespValue::Bulk(Some(arg))) =
+                (&items[0], &items[1])
+            {
+                if name.eq_ignore_ascii_case(b"AUTH") {
+                    return match std::str::from_utf8(arg).ok().and_then(|s| s.parse().ok()) {
+                        Some(id) => {
+                            *tenant = id;
+                            RespValue::ok()
+                        }
+                        None => RespValue::Error("ERR AUTH expects a numeric tenant id".into()),
+                    };
+                }
+            }
+        }
+    }
+    let command = match Command::from_resp(value) {
+        Ok(c) => c,
+        Err(e) => return RespValue::Error(format!("ERR {e}")),
+    };
+    let now = clock.load(Ordering::Relaxed);
+    match engine.execute(*tenant, &command, now) {
+        Ok(outcome) => outcome.reply,
+        Err(e) => RespValue::Error(format!("ERR storage: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abase_lavastore::DbConfig;
+
+    struct TestDir(std::path::PathBuf);
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "abase-server-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&path).ok();
+            Self(path)
+        }
+    }
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn start_server(tag: &str) -> (TestDir, std::net::SocketAddr, Arc<AtomicU64>) {
+        let dir = TestDir::new(tag);
+        let engine = Arc::new(TableEngine::open(&dir.0, DbConfig::small_for_tests()).unwrap());
+        let server = RespServer::bind(engine, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let clock = server.clock();
+        std::thread::spawn(move || server.run());
+        (dir, addr, clock)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &[u8]) -> RespValue {
+        stream.write_all(request).unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed unexpectedly");
+            buf.extend_from_slice(&chunk[..n]);
+            if let Some((value, _)) = RespValue::parse(&buf).unwrap() {
+                return value;
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_set_get_roundtrip() {
+        let (_dir, addr, _clock) = start_server("roundtrip");
+        let mut client = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n");
+        assert_eq!(reply, RespValue::ok());
+        let reply = roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+        assert_eq!(reply, RespValue::bulk("hello"));
+        let reply = roundtrip(&mut client, b"*1\r\n$4\r\nPING\r\n");
+        assert_eq!(reply, RespValue::Simple("PONG".into()));
+    }
+
+    #[test]
+    fn auth_switches_tenant_namespaces() {
+        let (_dir, addr, _clock) = start_server("auth");
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut client, b"*2\r\n$4\r\nAUTH\r\n$1\r\n1\r\n");
+        roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nt1\r\n");
+        // Switch tenant: the key is invisible.
+        let reply = roundtrip(&mut client, b"*2\r\n$4\r\nAUTH\r\n$1\r\n2\r\n");
+        assert_eq!(reply, RespValue::ok());
+        let reply = roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+        assert_eq!(reply, RespValue::Bulk(None));
+    }
+
+    #[test]
+    fn two_concurrent_clients_are_isolated() {
+        let (_dir, addr, _clock) = start_server("concurrent");
+        let mut c1 = TcpStream::connect(addr).unwrap();
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut c1, b"*2\r\n$4\r\nAUTH\r\n$1\r\n7\r\n");
+        roundtrip(&mut c2, b"*2\r\n$4\r\nAUTH\r\n$1\r\n8\r\n");
+        roundtrip(&mut c1, b"*3\r\n$3\r\nSET\r\n$1\r\nx\r\n$3\r\none\r\n");
+        roundtrip(&mut c2, b"*3\r\n$3\r\nSET\r\n$1\r\nx\r\n$3\r\ntwo\r\n");
+        assert_eq!(
+            roundtrip(&mut c1, b"*2\r\n$3\r\nGET\r\n$1\r\nx\r\n"),
+            RespValue::bulk("one")
+        );
+        assert_eq!(
+            roundtrip(&mut c2, b"*2\r\n$3\r\nGET\r\n$1\r\nx\r\n"),
+            RespValue::bulk("two")
+        );
+    }
+
+    #[test]
+    fn pipelined_commands_in_one_write() {
+        let (_dir, addr, _clock) = start_server("pipeline");
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Two commands in a single TCP segment.
+        client
+            .write_all(b"*3\r\n$3\r\nSET\r\n$1\r\na\r\n$1\r\n1\r\n*2\r\n$3\r\nGET\r\n$1\r\na\r\n")
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let mut replies = Vec::new();
+        while replies.len() < 2 {
+            let n = client.read(&mut chunk).unwrap();
+            assert!(n > 0);
+            buf.extend_from_slice(&chunk[..n]);
+            while let Some((value, used)) = RespValue::parse(&buf).unwrap() {
+                replies.push(value);
+                buf.drain(..used);
+            }
+        }
+        assert_eq!(replies[0], RespValue::ok());
+        assert_eq!(replies[1], RespValue::bulk("1"));
+    }
+
+    #[test]
+    fn ttl_honours_server_clock() {
+        let (_dir, addr, clock) = start_server("ttl");
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(
+            &mut client,
+            b"*5\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n$2\r\nEX\r\n$2\r\n10\r\n",
+        );
+        assert_eq!(
+            roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"),
+            RespValue::bulk("v")
+        );
+        clock.store(11_000_000, Ordering::Relaxed); // 11 s of virtual time
+        assert_eq!(
+            roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"),
+            RespValue::Bulk(None)
+        );
+    }
+
+    #[test]
+    fn malformed_command_gets_error_reply() {
+        let (_dir, addr, _clock) = start_server("badcmd");
+        let mut client = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut client, b"*1\r\n$7\r\nNOTACMD\r\n");
+        assert!(matches!(reply, RespValue::Error(_)));
+    }
+}

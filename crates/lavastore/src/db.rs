@@ -1,0 +1,831 @@
+//! The engine facade: a crash-safe, TTL-aware LSM key-value store.
+//!
+//! Writes go WAL → memtable; a full memtable flushes to an L0 SST; leveled
+//! compaction keeps read amplification bounded and garbage-collects tombstones
+//! and expired records. Reads report their block-I/O count so the ABase data
+//! node can price them into the I/O-WFQ.
+
+use crate::compaction::{pick_compaction, CompactionConfig};
+use crate::error::{Error, Result};
+use crate::iter::MergeIterator;
+use crate::memtable::MemTable;
+use crate::record::{Record, RecordKind, NO_EXPIRY};
+use crate::sstable::{SstReader, SstWriter};
+use crate::version::{SstMeta, Version};
+use crate::wal::Wal;
+use abase_util::clock::SimTime;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Memtable flush threshold in bytes.
+    pub memtable_bytes: usize,
+    /// Target uncompressed data-block size.
+    pub block_bytes: usize,
+    /// Target size for SST files written by flush/compaction.
+    pub target_sst_bytes: u64,
+    /// Bloom filter density.
+    pub bloom_bits_per_key: usize,
+    /// fsync the WAL on every append (durability vs. throughput).
+    pub sync_wal: bool,
+    /// Compaction policy knobs.
+    pub compaction: CompactionConfig,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self {
+            memtable_bytes: 4 << 20,
+            block_bytes: 4 << 10,
+            target_sst_bytes: 8 << 20,
+            bloom_bits_per_key: 10,
+            sync_wal: false,
+            compaction: CompactionConfig::default(),
+        }
+    }
+}
+
+impl DbConfig {
+    /// Tiny limits that force flush/compaction activity in unit tests.
+    pub fn small_for_tests() -> Self {
+        Self {
+            memtable_bytes: 4 << 10,
+            block_bytes: 512,
+            target_sst_bytes: 8 << 10,
+            bloom_bits_per_key: 10,
+            sync_wal: false,
+            compaction: CompactionConfig {
+                l0_trigger: 3,
+                level_base_bytes: 16 << 10,
+                level_growth: 4,
+                n_levels: 4,
+            },
+        }
+    }
+}
+
+/// Outcome of a point read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadResult {
+    /// The live value, if the key exists and has not expired.
+    pub value: Option<Bytes>,
+    /// Data-block reads performed (0 when served by memtable/bloom).
+    pub io_ops: u32,
+    /// True when the memtable answered.
+    pub from_memtable: bool,
+}
+
+/// Monotonic counters exposed by the engine.
+#[derive(Debug, Default)]
+struct StatsInner {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    block_reads: AtomicU64,
+    memtable_hits: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    sst_bytes_written: AtomicU64,
+}
+
+/// Snapshot of the engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Point reads served.
+    pub gets: u64,
+    /// Put operations applied.
+    pub puts: u64,
+    /// Delete operations applied.
+    pub deletes: u64,
+    /// Data-block reads across all SSTs.
+    pub block_reads: u64,
+    /// Reads answered from the memtable.
+    pub memtable_hits: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions executed.
+    pub compactions: u64,
+    /// Bytes written into SST files (flush + compaction).
+    pub sst_bytes_written: u64,
+}
+
+struct Inner {
+    memtable: MemTable,
+    version: Version,
+    readers: HashMap<u64, Arc<SstReader>>,
+    wal: Wal,
+    wal_path: PathBuf,
+    obsolete_wals: Vec<PathBuf>,
+}
+
+/// A LavaStore database instance rooted at a directory.
+pub struct Db {
+    dir: PathBuf,
+    config: DbConfig,
+    inner: RwLock<Inner>,
+    stats: StatsInner,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("dir", &self.dir).finish()
+    }
+}
+
+fn sst_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:010}.sst"))
+}
+
+fn wal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:010}.log"))
+}
+
+impl Db {
+    /// Open (or create) a database at `dir`, recovering from the manifest and
+    /// any write-ahead logs present.
+    pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut version = match Version::load(&dir)? {
+            Some(v) => v,
+            None => Version::new(config.compaction.n_levels),
+        };
+        if version.levels.len() != config.compaction.n_levels {
+            return Err(Error::InvalidState(format!(
+                "manifest has {} levels, config expects {}",
+                version.levels.len(),
+                config.compaction.n_levels
+            )));
+        }
+        // Open readers for every live file.
+        let mut readers = HashMap::new();
+        for files in &version.levels {
+            for meta in files {
+                let reader = SstReader::open(&sst_path(&dir, meta.id))?;
+                readers.insert(meta.id, Arc::new(reader));
+            }
+        }
+        // Replay surviving WALs (ascending id = chronological).
+        let mut memtable = MemTable::new();
+        let mut wal_ids: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let id = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+                id.parse::<u64>().ok()
+            })
+            .collect();
+        wal_ids.sort_unstable();
+        let mut obsolete_wals = Vec::new();
+        for id in &wal_ids {
+            let path = wal_path(&dir, *id);
+            for record in Wal::replay(&path)? {
+                version.next_seq = version.next_seq.max(record.seq + 1);
+                memtable.apply(&record);
+            }
+            obsolete_wals.push(path);
+        }
+        // New writes land in a fresh WAL.
+        let wal_id = version.allocate_file_id();
+        let new_wal_path = wal_path(&dir, wal_id);
+        let wal = Wal::create(&new_wal_path, config.sync_wal)?;
+        version.save(&dir)?;
+        Ok(Self {
+            dir,
+            config,
+            inner: RwLock::new(Inner {
+                memtable,
+                version,
+                readers,
+                wal,
+                wal_path: new_wal_path,
+                obsolete_wals,
+            }),
+            stats: StatsInner::default(),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Insert or overwrite `key` with `value`, optionally expiring at the
+    /// absolute virtual time `expires_at`.
+    pub fn put(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        expires_at: Option<SimTime>,
+        _now: SimTime,
+    ) -> Result<()> {
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write();
+        let seq = inner.version.next_seq;
+        inner.version.next_seq += 1;
+        let record = Record::put(
+            Bytes::copy_from_slice(key),
+            Bytes::copy_from_slice(value),
+            seq,
+            expires_at,
+        );
+        inner.wal.append(&record)?;
+        inner.memtable.apply(&record);
+        if inner.memtable.approximate_bytes() >= self.config.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Delete `key` (writes a tombstone).
+    pub fn delete(&self, key: &[u8], _now: SimTime) -> Result<()> {
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write();
+        let seq = inner.version.next_seq;
+        inner.version.next_seq += 1;
+        let record = Record::delete(Bytes::copy_from_slice(key), seq);
+        inner.wal.append(&record)?;
+        inner.memtable.apply(&record);
+        if inner.memtable.approximate_bytes() >= self.config.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point read at virtual time `now` (TTL-expired records read as absent).
+    pub fn get(&self, key: &[u8], now: SimTime) -> Result<ReadResult> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        // 1. Memtable: the newest state, shadowing everything below.
+        if let Some(entry) = inner.memtable.get(key) {
+            self.stats.memtable_hits.fetch_add(1, Ordering::Relaxed);
+            let value = match entry.kind {
+                RecordKind::Delete => None,
+                RecordKind::Put => {
+                    if entry.expires_at != NO_EXPIRY && entry.expires_at <= now {
+                        None
+                    } else {
+                        Some(entry.value.clone())
+                    }
+                }
+            };
+            return Ok(ReadResult {
+                value,
+                io_ops: 0,
+                from_memtable: true,
+            });
+        }
+        let mut io_ops = 0u32;
+        // 2. L0, newest file first (files may overlap).
+        for meta in &inner.version.levels[0] {
+            let reader = &inner.readers[&meta.id];
+            let (record, io) = reader.get(key)?;
+            io_ops += io;
+            if let Some(record) = record {
+                self.stats
+                    .block_reads
+                    .fetch_add(u64::from(io), Ordering::Relaxed);
+                return Ok(self.resolve(record, now, io_ops));
+            }
+        }
+        // 3. L1+: at most one candidate file per level.
+        for level in 1..inner.version.levels.len() {
+            let files = &inner.version.levels[level];
+            let idx = files.partition_point(|m| m.max_key.as_ref() < key);
+            if let Some(meta) = files.get(idx) {
+                if meta.min_key.as_ref() <= key {
+                    let reader = &inner.readers[&meta.id];
+                    let (record, io) = reader.get(key)?;
+                    io_ops += io;
+                    if let Some(record) = record {
+                        self.stats
+                            .block_reads
+                            .fetch_add(u64::from(io_ops), Ordering::Relaxed);
+                        return Ok(self.resolve(record, now, io_ops));
+                    }
+                }
+            }
+        }
+        self.stats
+            .block_reads
+            .fetch_add(u64::from(io_ops), Ordering::Relaxed);
+        Ok(ReadResult {
+            value: None,
+            io_ops,
+            from_memtable: false,
+        })
+    }
+
+    fn resolve(&self, record: Record, now: SimTime, io_ops: u32) -> ReadResult {
+        let value = match record.kind {
+            RecordKind::Delete => None,
+            RecordKind::Put => {
+                if record.is_expired(now) {
+                    None
+                } else {
+                    Some(record.value)
+                }
+            }
+        };
+        ReadResult {
+            value,
+            io_ops,
+            from_memtable: false,
+        }
+    }
+
+    /// All live `(key, value)` pairs whose key starts with `prefix`, at
+    /// virtual time `now`. Returns the pairs and the block I/Os used.
+    pub fn scan_prefix(&self, prefix: &[u8], now: SimTime) -> Result<(Vec<(Bytes, Bytes)>, u32)> {
+        let inner = self.inner.read();
+        let mut sources = Vec::new();
+        // Source 0 (newest): memtable.
+        sources.push(
+            inner
+                .memtable
+                .scan_prefix(prefix)
+                .map(|(k, e)| Record {
+                    key: k.clone(),
+                    seq: e.seq,
+                    kind: e.kind,
+                    expires_at: e.expires_at,
+                    value: e.value.clone(),
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut io_ops = 0u32;
+        // L0 newest-first, then deeper levels.
+        for level in 0..inner.version.levels.len() {
+            for meta in &inner.version.levels[level] {
+                if !meta.overlaps(prefix, upper_bound_for_prefix(prefix).as_ref()) {
+                    continue;
+                }
+                let reader = &inner.readers[&meta.id];
+                let (records, io) = reader.scan_prefix(prefix)?;
+                io_ops += io;
+                sources.push(records);
+            }
+        }
+        self.stats
+            .block_reads
+            .fetch_add(u64::from(io_ops), Ordering::Relaxed);
+        let merged = MergeIterator::new(sources).dedup_newest(now, true);
+        let out = merged
+            .into_iter()
+            .map(|r| (r.key, r.value))
+            .collect();
+        Ok((out, io_ops))
+    }
+
+    /// Force a memtable flush (no-op when empty).
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let id = inner.version.allocate_file_id();
+        let path = sst_path(&self.dir, id);
+        let mut writer = SstWriter::create(
+            &path,
+            inner.memtable.len(),
+            self.config.bloom_bits_per_key,
+            self.config.block_bytes,
+        )?;
+        for record in inner.memtable.iter_records() {
+            writer.add(&record)?;
+        }
+        let info = writer.finish()?;
+        self.stats
+            .sst_bytes_written
+            .fetch_add(info.file_size, Ordering::Relaxed);
+        inner.version.add_file(SstMeta {
+            id,
+            level: 0,
+            min_key: info.min_key,
+            max_key: info.max_key,
+            file_size: info.file_size,
+            record_count: info.record_count,
+        });
+        inner.readers.insert(id, Arc::new(SstReader::open(&path)?));
+        // Rotate the WAL: new log first, then persist the version, then drop
+        // logs that only contained flushed data.
+        let wal_id = inner.version.allocate_file_id();
+        let new_wal_path = wal_path(&self.dir, wal_id);
+        inner.wal = Wal::create(&new_wal_path, self.config.sync_wal)?;
+        let old_wal = std::mem::replace(&mut inner.wal_path, new_wal_path);
+        inner.version.save(&self.dir)?;
+        inner.memtable.clear();
+        for path in inner.obsolete_wals.drain(..) {
+            std::fs::remove_file(path).ok();
+        }
+        std::fs::remove_file(old_wal).ok();
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Run at most one compaction round. Returns true if one executed.
+    /// Expired records are dropped using virtual time `now`.
+    pub fn compact_once(&self, now: SimTime) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let Some(task) = pick_compaction(&inner.version, &self.config.compaction) else {
+            return Ok(false);
+        };
+        // Collect input streams. Input ids arrive with the from-level files
+        // first (newest sources first for L0), which matches the merge
+        // iterator's tie-breaking contract.
+        let mut sources = Vec::with_capacity(task.input_ids.len());
+        for id in &task.input_ids {
+            let reader = inner
+                .readers
+                .get(id)
+                .ok_or_else(|| Error::InvalidState(format!("missing reader for sst {id}")))?;
+            sources.push(reader.scan_all()?);
+        }
+        let merged = MergeIterator::new(sources).dedup_newest(now, task.is_bottom_level);
+        // Write merged output, splitting at the target file size.
+        let mut new_metas = Vec::new();
+        let mut writer: Option<(u64, SstWriter, u64)> = None; // (id, writer, bytes)
+        for record in &merged {
+            if writer.is_none() {
+                let id = inner.version.allocate_file_id();
+                let w = SstWriter::create(
+                    &sst_path(&self.dir, id),
+                    merged.len(),
+                    self.config.bloom_bits_per_key,
+                    self.config.block_bytes,
+                )?;
+                writer = Some((id, w, 0));
+            }
+            let (_, w, bytes) = writer.as_mut().expect("writer just ensured");
+            w.add(record)?;
+            *bytes += record.approximate_size() as u64;
+            if *bytes >= self.config.target_sst_bytes {
+                let (id, w, _) = writer.take().expect("writer present");
+                let info = w.finish()?;
+                self.stats
+                    .sst_bytes_written
+                    .fetch_add(info.file_size, Ordering::Relaxed);
+                new_metas.push(SstMeta {
+                    id,
+                    level: task.output_level as u32,
+                    min_key: info.min_key,
+                    max_key: info.max_key,
+                    file_size: info.file_size,
+                    record_count: info.record_count,
+                });
+            }
+        }
+        if let Some((id, w, _)) = writer.take() {
+            let info = w.finish()?;
+            self.stats
+                .sst_bytes_written
+                .fetch_add(info.file_size, Ordering::Relaxed);
+            new_metas.push(SstMeta {
+                id,
+                level: task.output_level as u32,
+                min_key: info.min_key,
+                max_key: info.max_key,
+                file_size: info.file_size,
+                record_count: info.record_count,
+            });
+        }
+        // Install the new version: remove inputs, add outputs, persist.
+        for id in &task.input_ids {
+            inner.version.remove_file(*id);
+        }
+        for meta in &new_metas {
+            inner
+                .readers
+                .insert(meta.id, Arc::new(SstReader::open(&sst_path(&self.dir, meta.id))?));
+            inner.version.add_file(meta.clone());
+        }
+        inner.version.save(&self.dir)?;
+        for id in &task.input_ids {
+            inner.readers.remove(id);
+            std::fs::remove_file(sst_path(&self.dir, *id)).ok();
+        }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Run compactions until the tree is shaped (bounded rounds).
+    pub fn compact_to_quiescence(&self, now: SimTime) -> Result<u32> {
+        let mut rounds = 0;
+        while rounds < 64 && self.compact_once(now)? {
+            rounds += 1;
+        }
+        Ok(rounds)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            gets: self.stats.gets.load(Ordering::Relaxed),
+            puts: self.stats.puts.load(Ordering::Relaxed),
+            deletes: self.stats.deletes.load(Ordering::Relaxed),
+            block_reads: self.stats.block_reads.load(Ordering::Relaxed),
+            memtable_hits: self.stats.memtable_hits.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            compactions: self.stats.compactions.load(Ordering::Relaxed),
+            sst_bytes_written: self.stats.sst_bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total live SST bytes (storage utilization for the rescheduler).
+    pub fn total_sst_bytes(&self) -> u64 {
+        self.inner.read().version.total_bytes()
+    }
+
+    /// Live files per level, for diagnostics.
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        self.inner.read().version.levels.iter().map(Vec::len).collect()
+    }
+}
+
+/// Smallest byte string strictly greater than every key with `prefix`
+/// (used to bound overlap checks). Falls back to 0xFF-padding when the prefix
+/// is all 0xFF.
+fn upper_bound_for_prefix(prefix: &[u8]) -> Bytes {
+    let mut upper = prefix.to_vec();
+    while let Some(last) = upper.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Bytes::from(upper);
+        }
+        upper.pop();
+    }
+    // All-0xFF prefix: unbounded above; use a long max sentinel.
+    Bytes::from(vec![0xFFu8; prefix.len() + 8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestDir(PathBuf);
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "abase-db-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&path).ok();
+            Self(path)
+        }
+    }
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dir = TestDir::new("putget");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"k1", b"v1", None, 0).unwrap();
+        let r = db.get(b"k1", 0).unwrap();
+        assert_eq!(r.value.as_deref(), Some(&b"v1"[..]));
+        assert!(r.from_memtable);
+        assert!(db.get(b"missing", 0).unwrap().value.is_none());
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let dir = TestDir::new("overwrite");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"k", b"v1", None, 0).unwrap();
+        db.put(b"k", b"v2", None, 0).unwrap();
+        assert_eq!(db.get(b"k", 0).unwrap().value.as_deref(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn delete_hides_key_across_flush() {
+        let dir = TestDir::new("delete");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"k", b"v", None, 0).unwrap();
+        db.flush().unwrap();
+        db.delete(b"k", 0).unwrap();
+        assert!(db.get(b"k", 0).unwrap().value.is_none());
+        db.flush().unwrap();
+        assert!(db.get(b"k", 0).unwrap().value.is_none());
+    }
+
+    #[test]
+    fn reads_span_memtable_and_multiple_ssts() {
+        let dir = TestDir::new("layers");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"in-sst-1", b"a", None, 0).unwrap();
+        db.flush().unwrap();
+        db.put(b"in-sst-2", b"b", None, 0).unwrap();
+        db.flush().unwrap();
+        db.put(b"in-mem", b"c", None, 0).unwrap();
+        assert_eq!(db.get(b"in-sst-1", 0).unwrap().value.as_deref(), Some(&b"a"[..]));
+        assert_eq!(db.get(b"in-sst-2", 0).unwrap().value.as_deref(), Some(&b"b"[..]));
+        let r = db.get(b"in-mem", 0).unwrap();
+        assert!(r.from_memtable);
+        // An SST read costs at least one block I/O.
+        let r = db.get(b"in-sst-1", 0).unwrap();
+        assert!(r.io_ops >= 1);
+    }
+
+    #[test]
+    fn ttl_expires_reads() {
+        let dir = TestDir::new("ttl");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"k", b"v", Some(1000), 0).unwrap();
+        assert!(db.get(b"k", 999).unwrap().value.is_some());
+        assert!(db.get(b"k", 1000).unwrap().value.is_none());
+        // Also across a flush.
+        db.flush().unwrap();
+        assert!(db.get(b"k", 1000).unwrap().value.is_none());
+        assert!(db.get(b"k", 999).unwrap().value.is_some());
+    }
+
+    #[test]
+    fn automatic_flush_on_memtable_pressure() {
+        let dir = TestDir::new("autoflush");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        for i in 0..200 {
+            let key = format!("key-{i:04}");
+            db.put(key.as_bytes(), &[0u8; 100], None, 0).unwrap();
+        }
+        assert!(db.stats().flushes >= 1, "no flush under pressure");
+        // All keys remain readable.
+        for i in 0..200 {
+            let key = format!("key-{i:04}");
+            assert!(
+                db.get(key.as_bytes(), 0).unwrap().value.is_some(),
+                "{key} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_data_and_reduces_l0() {
+        let dir = TestDir::new("compact");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        for round in 0..5 {
+            for i in 0..50 {
+                let key = format!("key-{i:04}");
+                let value = format!("v{round}-{i}");
+                db.put(key.as_bytes(), value.as_bytes(), None, 0).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let l0_before = db.level_file_counts()[0];
+        assert!(l0_before >= 3);
+        let rounds = db.compact_to_quiescence(0).unwrap();
+        assert!(rounds >= 1);
+        assert!(db.level_file_counts()[0] < l0_before);
+        // Latest values win after compaction.
+        for i in 0..50 {
+            let key = format!("key-{i:04}");
+            let expect = format!("v4-{i}");
+            assert_eq!(
+                db.get(key.as_bytes(), 0).unwrap().value.as_deref(),
+                Some(expect.as_bytes()),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_from_wal_after_drop() {
+        let dir = TestDir::new("recover");
+        {
+            let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+            db.put(b"durable", b"yes", None, 0).unwrap();
+            // No flush: data only in WAL + memtable.
+        }
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        assert_eq!(
+            db.get(b"durable", 0).unwrap().value.as_deref(),
+            Some(&b"yes"[..])
+        );
+    }
+
+    #[test]
+    fn recovery_after_flush_and_more_writes() {
+        let dir = TestDir::new("recover2");
+        {
+            let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+            db.put(b"a", b"1", None, 0).unwrap();
+            db.flush().unwrap();
+            db.put(b"b", b"2", None, 0).unwrap();
+        }
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        assert_eq!(db.get(b"a", 0).unwrap().value.as_deref(), Some(&b"1"[..]));
+        assert_eq!(db.get(b"b", 0).unwrap().value.as_deref(), Some(&b"2"[..]));
+        // Sequence numbers continue: an overwrite after recovery wins.
+        db.put(b"a", b"3", None, 0).unwrap();
+        assert_eq!(db.get(b"a", 0).unwrap().value.as_deref(), Some(&b"3"[..]));
+    }
+
+    #[test]
+    fn scan_prefix_merges_all_layers() {
+        let dir = TestDir::new("scan");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"h:1", b"a", None, 0).unwrap();
+        db.flush().unwrap();
+        db.put(b"h:2", b"b", None, 0).unwrap();
+        db.put(b"other", b"x", None, 0).unwrap();
+        db.put(b"h:1", b"a2", None, 0).unwrap(); // overwrite in memtable
+        let (pairs, _) = db.scan_prefix(b"h:", 0).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (Bytes::from("h:1"), Bytes::from("a2")));
+        assert_eq!(pairs[1], (Bytes::from("h:2"), Bytes::from("b")));
+    }
+
+    #[test]
+    fn scan_prefix_hides_tombstones_and_expired() {
+        let dir = TestDir::new("scan2");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"p:live", b"1", None, 0).unwrap();
+        db.put(b"p:dead", b"2", None, 0).unwrap();
+        db.put(b"p:ttl", b"3", Some(500), 0).unwrap();
+        db.delete(b"p:dead", 0).unwrap();
+        let (pairs, _) = db.scan_prefix(b"p:", 1000).unwrap();
+        let keys: Vec<_> = pairs.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![Bytes::from("p:live")]);
+    }
+
+    #[test]
+    fn bottom_compaction_drops_tombstones_and_expired() {
+        let dir = TestDir::new("gc");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        // Three flushes reach the L0 compaction trigger.
+        for round in 0..3 {
+            for i in 0..30 {
+                db.put(format!("k{i:02}-{round}").as_bytes(), b"v", Some(100), 0)
+                    .unwrap();
+            }
+            db.delete(format!("k00-{round}").as_bytes(), 0).unwrap();
+            db.flush().unwrap();
+        }
+        let before = db.total_sst_bytes();
+        // Compact well past expiry: everything is GC-able.
+        db.compact_to_quiescence(1_000_000).unwrap();
+        let after = db.total_sst_bytes();
+        assert!(after < before, "GC did not shrink storage ({before} -> {after})");
+    }
+
+    #[test]
+    fn stats_move() {
+        let dir = TestDir::new("stats");
+        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        db.put(b"k", b"v", None, 0).unwrap();
+        db.get(b"k", 0).unwrap();
+        db.delete(b"k", 0).unwrap();
+        let s = db.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.memtable_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let dir = TestDir::new("concurrent");
+        let db = Arc::new(Db::open(&dir.0, DbConfig::small_for_tests()).unwrap());
+        for i in 0..100 {
+            db.put(format!("k{i:03}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        db.flush().unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let key = format!("k{:03}", (i * 7 + t) % 100);
+                    assert!(db.get(key.as_bytes(), 0).unwrap().value.is_some());
+                }
+            }));
+        }
+        for i in 100..150 {
+            db.put(format!("k{i:03}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn upper_bound_helper() {
+        assert_eq!(upper_bound_for_prefix(b"abc"), Bytes::from("abd"));
+        assert_eq!(upper_bound_for_prefix(&[0x01, 0xFF]), Bytes::from(vec![0x02]));
+        let ub = upper_bound_for_prefix(&[0xFF, 0xFF]);
+        assert!(ub.as_ref() > &[0xFFu8, 0xFF][..]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Binary encoding primitives: LEB128 varints and CRC-32 (IEEE).
+//!
+//! Implemented in-tree to keep the dependency set to the sanctioned crates;
+//! both are small, standard algorithms with exhaustive tests below.
+
+use crate::error::{Error, Result};
+
+/// Append `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode an LEB128 varint from `buf[*pos..]`, advancing `pos`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut shift = 0u32;
+    let mut out = 0u64;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::Corruption("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(Error::Corruption("varint overflow".into()));
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Append a length-prefixed byte slice.
+pub fn put_len_prefixed(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Decode a length-prefixed byte slice from `buf[*pos..]`, advancing `pos`.
+pub fn get_len_prefixed<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| Error::Corruption("length overflow".into()))?;
+    if end > buf.len() {
+        return Err(Error::Corruption("truncated byte slice".into()));
+    }
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+/// Append a fixed little-endian u32.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a fixed little-endian u32.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let end = *pos + 4;
+    if end > buf.len() {
+        return Err(Error::Corruption("truncated u32".into()));
+    }
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Append a fixed little-endian u64.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a fixed little-endian u64.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = *pos + 8;
+    if end > buf.len() {
+        return Err(Error::Corruption("truncated u64".into()));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"hello");
+        put_len_prefixed(&mut buf, b"");
+        let mut pos = 0;
+        assert_eq!(get_len_prefixed(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(get_len_prefixed(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn len_prefixed_rejects_overrun() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100); // claims 100 bytes, provides none
+        let mut pos = 0;
+        assert!(get_len_prefixed(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn fixed_ints_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: "123456789" → 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Sensitivity: one flipped bit changes the sum.
+        assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+    }
+}

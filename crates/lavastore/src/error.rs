@@ -1,0 +1,55 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A persisted structure failed its checksum or framing checks.
+    Corruption(String),
+    /// The database directory is in an unexpected state.
+    InvalidState(String),
+}
+
+/// Convenience alias for engine results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Corruption("bad crc".into());
+        assert!(e.to_string().contains("bad crc"));
+        let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,502 @@
+//! The typed ABase command set.
+//!
+//! String commands plus the hash commands whose RU estimation the paper treats
+//! specially (§4.1): `HLEN` has an unpredictable scan size estimated from
+//! history, and `HGETALL` decomposes into `HLen` followed by a scan.
+
+use crate::resp::RespValue;
+use bytes::Bytes;
+use std::fmt;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `GET key`
+    Get {
+        /// Key to read.
+        key: Bytes,
+    },
+    /// `SET key value` with optional `EX seconds`.
+    Set {
+        /// Key to write.
+        key: Bytes,
+        /// Value to store.
+        value: Bytes,
+        /// Relative TTL in seconds, if given (`SET … EX n` / `SETEX`).
+        ttl_secs: Option<u64>,
+    },
+    /// `DEL key [key …]`
+    Del {
+        /// Keys to delete.
+        keys: Vec<Bytes>,
+    },
+    /// `EXISTS key`
+    Exists {
+        /// Key to probe.
+        key: Bytes,
+    },
+    /// `EXPIRE key seconds`
+    Expire {
+        /// Key to re-arm.
+        key: Bytes,
+        /// Relative TTL in seconds.
+        secs: u64,
+    },
+    /// `HSET key field value [field value …]`
+    HSet {
+        /// Hash key.
+        key: Bytes,
+        /// Field/value pairs.
+        pairs: Vec<(Bytes, Bytes)>,
+    },
+    /// `HGET key field`
+    HGet {
+        /// Hash key.
+        key: Bytes,
+        /// Field to read.
+        field: Bytes,
+    },
+    /// `HDEL key field [field …]`
+    HDel {
+        /// Hash key.
+        key: Bytes,
+        /// Fields to remove.
+        fields: Vec<Bytes>,
+    },
+    /// `HLEN key` — a complex read: scan size unknown a priori.
+    HLen {
+        /// Hash key.
+        key: Bytes,
+    },
+    /// `HGETALL key` — a complex read: `HLen` + scan.
+    HGetAll {
+        /// Hash key.
+        key: Bytes,
+    },
+    /// `PING`
+    Ping,
+}
+
+/// Coarse classification used by quotas and the WFQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Point read with predictable shape.
+    SimpleRead,
+    /// Multi-stage read with history-estimated cost (`HLEN`, `HGETALL`).
+    ComplexRead,
+    /// Any mutation.
+    Write,
+    /// Control-plane chatter (`PING`).
+    Control,
+}
+
+/// Command parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError(pub String);
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad command: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+fn err(msg: impl Into<String>) -> ParseCommandError {
+    ParseCommandError(msg.into())
+}
+
+fn as_bulk(v: &RespValue) -> Result<Bytes, ParseCommandError> {
+    match v {
+        RespValue::Bulk(Some(b)) => Ok(b.clone()),
+        other => Err(err(format!("expected bulk string, got {other:?}"))),
+    }
+}
+
+fn as_u64(v: &RespValue) -> Result<u64, ParseCommandError> {
+    let raw = as_bulk(v)?;
+    std::str::from_utf8(&raw)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| err("expected unsigned integer"))
+}
+
+impl Command {
+    /// Parse a client RESP array (`*N` of bulk strings) into a command.
+    pub fn from_resp(value: &RespValue) -> Result<Command, ParseCommandError> {
+        let RespValue::Array(Some(items)) = value else {
+            return Err(err("commands must be RESP arrays"));
+        };
+        if items.is_empty() {
+            return Err(err("empty command array"));
+        }
+        let name_raw = as_bulk(&items[0])?;
+        let name = std::str::from_utf8(&name_raw)
+            .map_err(|_| err("command name must be UTF-8"))?
+            .to_ascii_uppercase();
+        let args = &items[1..];
+        let want = |n: usize| -> Result<(), ParseCommandError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!("{name} expects {n} arguments, got {}", args.len())))
+            }
+        };
+        match name.as_str() {
+            "PING" => {
+                want(0)?;
+                Ok(Command::Ping)
+            }
+            "GET" => {
+                want(1)?;
+                Ok(Command::Get {
+                    key: as_bulk(&args[0])?,
+                })
+            }
+            "SET" => {
+                if args.len() == 2 {
+                    Ok(Command::Set {
+                        key: as_bulk(&args[0])?,
+                        value: as_bulk(&args[1])?,
+                        ttl_secs: None,
+                    })
+                } else if args.len() == 4 {
+                    let opt = as_bulk(&args[2])?;
+                    if !opt.eq_ignore_ascii_case(b"EX") {
+                        return Err(err("SET only supports the EX option"));
+                    }
+                    Ok(Command::Set {
+                        key: as_bulk(&args[0])?,
+                        value: as_bulk(&args[1])?,
+                        ttl_secs: Some(as_u64(&args[3])?),
+                    })
+                } else {
+                    Err(err("SET expects: key value [EX seconds]"))
+                }
+            }
+            "SETEX" => {
+                want(3)?;
+                Ok(Command::Set {
+                    key: as_bulk(&args[0])?,
+                    value: as_bulk(&args[2])?,
+                    ttl_secs: Some(as_u64(&args[1])?),
+                })
+            }
+            "DEL" => {
+                if args.is_empty() {
+                    return Err(err("DEL expects at least one key"));
+                }
+                Ok(Command::Del {
+                    keys: args.iter().map(as_bulk).collect::<Result<_, _>>()?,
+                })
+            }
+            "EXISTS" => {
+                want(1)?;
+                Ok(Command::Exists {
+                    key: as_bulk(&args[0])?,
+                })
+            }
+            "EXPIRE" => {
+                want(2)?;
+                Ok(Command::Expire {
+                    key: as_bulk(&args[0])?,
+                    secs: as_u64(&args[1])?,
+                })
+            }
+            "HSET" => {
+                if args.len() < 3 || args.len() % 2 == 0 {
+                    return Err(err("HSET expects key followed by field/value pairs"));
+                }
+                let key = as_bulk(&args[0])?;
+                let mut pairs = Vec::with_capacity((args.len() - 1) / 2);
+                for pair in args[1..].chunks_exact(2) {
+                    pairs.push((as_bulk(&pair[0])?, as_bulk(&pair[1])?));
+                }
+                Ok(Command::HSet { key, pairs })
+            }
+            "HGET" => {
+                want(2)?;
+                Ok(Command::HGet {
+                    key: as_bulk(&args[0])?,
+                    field: as_bulk(&args[1])?,
+                })
+            }
+            "HDEL" => {
+                if args.len() < 2 {
+                    return Err(err("HDEL expects key and at least one field"));
+                }
+                Ok(Command::HDel {
+                    key: as_bulk(&args[0])?,
+                    fields: args[1..].iter().map(as_bulk).collect::<Result<_, _>>()?,
+                })
+            }
+            "HLEN" => {
+                want(1)?;
+                Ok(Command::HLen {
+                    key: as_bulk(&args[0])?,
+                })
+            }
+            "HGETALL" => {
+                want(1)?;
+                Ok(Command::HGetAll {
+                    key: as_bulk(&args[0])?,
+                })
+            }
+            other => Err(err(format!("unknown command {other}"))),
+        }
+    }
+
+    /// Serialize the command back to its RESP array form.
+    pub fn to_resp(&self) -> RespValue {
+        let mut items: Vec<RespValue> = Vec::new();
+        let mut push = |s: &[u8]| items.push(RespValue::bulk(Bytes::copy_from_slice(s)));
+        match self {
+            Command::Ping => push(b"PING"),
+            Command::Get { key } => {
+                push(b"GET");
+                push(key);
+            }
+            Command::Set {
+                key,
+                value,
+                ttl_secs,
+            } => {
+                push(b"SET");
+                push(key);
+                push(value);
+                if let Some(ttl) = ttl_secs {
+                    push(b"EX");
+                    push(ttl.to_string().as_bytes());
+                }
+            }
+            Command::Del { keys } => {
+                push(b"DEL");
+                for k in keys {
+                    push(k);
+                }
+            }
+            Command::Exists { key } => {
+                push(b"EXISTS");
+                push(key);
+            }
+            Command::Expire { key, secs } => {
+                push(b"EXPIRE");
+                push(key);
+                push(secs.to_string().as_bytes());
+            }
+            Command::HSet { key, pairs } => {
+                push(b"HSET");
+                push(key);
+                for (f, v) in pairs {
+                    push(f);
+                    push(v);
+                }
+            }
+            Command::HGet { key, field } => {
+                push(b"HGET");
+                push(key);
+                push(field);
+            }
+            Command::HDel { key, fields } => {
+                push(b"HDEL");
+                push(key);
+                for f in fields {
+                    push(f);
+                }
+            }
+            Command::HLen { key } => {
+                push(b"HLEN");
+                push(key);
+            }
+            Command::HGetAll { key } => {
+                push(b"HGETALL");
+                push(key);
+            }
+        }
+        RespValue::array(items)
+    }
+
+    /// Coarse classification for quotas and queue selection.
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            Command::Get { .. } | Command::Exists { .. } | Command::HGet { .. } => {
+                CommandKind::SimpleRead
+            }
+            Command::HLen { .. } | Command::HGetAll { .. } => CommandKind::ComplexRead,
+            Command::Set { .. }
+            | Command::Del { .. }
+            | Command::Expire { .. }
+            | Command::HSet { .. }
+            | Command::HDel { .. } => CommandKind::Write,
+            Command::Ping => CommandKind::Control,
+        }
+    }
+
+    /// True for mutations.
+    pub fn is_write(&self) -> bool {
+        self.kind() == CommandKind::Write
+    }
+
+    /// The primary key the command routes by (None for `PING`).
+    pub fn routing_key(&self) -> Option<&Bytes> {
+        match self {
+            Command::Get { key }
+            | Command::Exists { key }
+            | Command::Expire { key, .. }
+            | Command::Set { key, .. }
+            | Command::HSet { key, .. }
+            | Command::HGet { key, .. }
+            | Command::HDel { key, .. }
+            | Command::HLen { key }
+            | Command::HGetAll { key } => Some(key),
+            Command::Del { keys } => keys.first(),
+            Command::Ping => None,
+        }
+    }
+
+    /// Payload bytes carried by the request (for write sizing / size class).
+    pub fn payload_size(&self) -> usize {
+        match self {
+            Command::Set { key, value, .. } => key.len() + value.len(),
+            Command::HSet { key, pairs } => {
+                key.len()
+                    + pairs
+                        .iter()
+                        .map(|(f, v)| f.len() + v.len())
+                        .sum::<usize>()
+            }
+            Command::Del { keys } => keys.iter().map(Bytes::len).sum(),
+            Command::HDel { key, fields } => {
+                key.len() + fields.iter().map(Bytes::len).sum::<usize>()
+            }
+            Command::Get { key }
+            | Command::Exists { key }
+            | Command::Expire { key, .. }
+            | Command::HGet { key, .. }
+            | Command::HLen { key }
+            | Command::HGetAll { key } => key.len(),
+            Command::Ping => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Command, ParseCommandError> {
+        let items = parts
+            .iter()
+            .map(|p| RespValue::bulk(Bytes::copy_from_slice(p.as_bytes())))
+            .collect();
+        Command::from_resp(&RespValue::array(items))
+    }
+
+    #[test]
+    fn parses_string_commands() {
+        assert_eq!(
+            parse(&["GET", "k"]).unwrap(),
+            Command::Get { key: "k".into() }
+        );
+        assert_eq!(
+            parse(&["set", "k", "v"]).unwrap(),
+            Command::Set {
+                key: "k".into(),
+                value: "v".into(),
+                ttl_secs: None
+            }
+        );
+        assert_eq!(
+            parse(&["SET", "k", "v", "EX", "30"]).unwrap(),
+            Command::Set {
+                key: "k".into(),
+                value: "v".into(),
+                ttl_secs: Some(30)
+            }
+        );
+        assert_eq!(
+            parse(&["SETEX", "k", "60", "v"]).unwrap(),
+            Command::Set {
+                key: "k".into(),
+                value: "v".into(),
+                ttl_secs: Some(60)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_hash_commands() {
+        assert_eq!(
+            parse(&["HSET", "h", "f1", "v1", "f2", "v2"]).unwrap(),
+            Command::HSet {
+                key: "h".into(),
+                pairs: vec![("f1".into(), "v1".into()), ("f2".into(), "v2".into())]
+            }
+        );
+        assert_eq!(
+            parse(&["HGETALL", "h"]).unwrap(),
+            Command::HGetAll { key: "h".into() }
+        );
+        assert_eq!(parse(&["HLEN", "h"]).unwrap(), Command::HLen { key: "h".into() });
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(parse(&["GET"]).is_err());
+        assert!(parse(&["SET", "k"]).is_err());
+        assert!(parse(&["HSET", "h", "f1"]).is_err());
+        assert!(parse(&["EXPIRE", "k", "soon"]).is_err());
+        assert!(parse(&["NOSUCH", "x"]).is_err());
+        assert!(Command::from_resp(&RespValue::Integer(1)).is_err());
+    }
+
+    #[test]
+    fn resp_roundtrip() {
+        let cmds = vec![
+            Command::Get { key: "k".into() },
+            Command::Set {
+                key: "k".into(),
+                value: "v".into(),
+                ttl_secs: Some(5),
+            },
+            Command::Del {
+                keys: vec!["a".into(), "b".into()],
+            },
+            Command::HSet {
+                key: "h".into(),
+                pairs: vec![("f".into(), "v".into())],
+            },
+            Command::HGetAll { key: "h".into() },
+            Command::Ping,
+        ];
+        for cmd in cmds {
+            let round = Command::from_resp(&cmd.to_resp()).unwrap();
+            assert_eq!(round, cmd);
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(parse(&["GET", "k"]).unwrap().kind(), CommandKind::SimpleRead);
+        assert_eq!(
+            parse(&["HGETALL", "h"]).unwrap().kind(),
+            CommandKind::ComplexRead
+        );
+        assert_eq!(
+            parse(&["SET", "k", "v"]).unwrap().kind(),
+            CommandKind::Write
+        );
+        assert!(parse(&["DEL", "k"]).unwrap().is_write());
+        assert_eq!(parse(&["PING"]).unwrap().kind(), CommandKind::Control);
+    }
+
+    #[test]
+    fn routing_key_and_sizes() {
+        let set = parse(&["SET", "key", "0123456789"]).unwrap();
+        assert_eq!(set.routing_key().unwrap(), &Bytes::from("key"));
+        assert_eq!(set.payload_size(), 13);
+        assert_eq!(parse(&["PING"]).unwrap().routing_key(), None);
+        let del = parse(&["DEL", "a", "b"]).unwrap();
+        assert_eq!(del.routing_key().unwrap(), &Bytes::from("a"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # abase-proto
+//!
+//! The Redis wire protocol (RESP2) and the command subset ABase exposes.
+//!
+//! "ABase supports the Redis protocol to ease adoption for users familiar with
+//! Redis" (paper §3.1). This crate provides:
+//!
+//! * [`resp`] — RESP2 value model with an incremental parser and serializer.
+//! * [`command`] — the typed command set, including the string commands whose
+//!   RU estimation §4.1 discusses (`GET`/`SET`) and the complex hash commands
+//!   (`HLEN`, `HGETALL`) whose costs are decomposed into stages.
+
+#![deny(missing_docs)]
+
+pub mod command;
+pub mod resp;
+
+pub use command::{Command, CommandKind, ParseCommandError};
+pub use resp::{ParseError, RespValue};

@@ -1,0 +1,276 @@
+//! RESP2 (REdis Serialization Protocol) values.
+//!
+//! The five RESP2 types with an incremental parser: `parse` returns
+//! `Ok(None)` on incomplete input so a network layer can accumulate bytes and
+//! retry, and `Err` only on genuinely malformed frames.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A RESP2 protocol value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR message\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`; `None` is the null bulk string `$-1\r\n`.
+    Bulk(Option<Bytes>),
+    /// `*2\r\n...`; `None` is the null array `*-1\r\n`.
+    Array(Option<Vec<RespValue>>),
+}
+
+/// Why a frame failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unknown type byte.
+    BadType(u8),
+    /// A length or integer field did not parse.
+    BadInteger,
+    /// Line framing (`\r\n`) violated.
+    BadFraming,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadType(b) => write!(f, "unknown RESP type byte 0x{b:02x}"),
+            ParseError::BadInteger => write!(f, "malformed RESP integer"),
+            ParseError::BadFraming => write!(f, "malformed RESP framing"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl RespValue {
+    /// Shorthand for a non-null bulk string.
+    pub fn bulk(data: impl Into<Bytes>) -> Self {
+        RespValue::Bulk(Some(data.into()))
+    }
+
+    /// Shorthand for a non-null array.
+    pub fn array(items: Vec<RespValue>) -> Self {
+        RespValue::Array(Some(items))
+    }
+
+    /// The conventional OK reply.
+    pub fn ok() -> Self {
+        RespValue::Simple("OK".to_string())
+    }
+
+    /// Serialize into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RespValue::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Error(s) => {
+                out.push(b'-');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Integer(i) => {
+                out.push(b':');
+                out.extend_from_slice(i.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Bulk(None) => out.extend_from_slice(b"$-1\r\n"),
+            RespValue::Bulk(Some(data)) => {
+                out.push(b'$');
+                out.extend_from_slice(data.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Array(None) => out.extend_from_slice(b"*-1\r\n"),
+            RespValue::Array(Some(items)) => {
+                out.push(b'*');
+                out.extend_from_slice(items.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Serialize into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Parse one value from the head of `input`.
+    ///
+    /// Returns `Ok(Some((value, consumed)))` on success, `Ok(None)` when the
+    /// input is a valid prefix of a frame (read more bytes), or `Err` when the
+    /// input can never become a valid frame.
+    pub fn parse(input: &[u8]) -> Result<Option<(RespValue, usize)>, ParseError> {
+        let Some(&type_byte) = input.first() else {
+            return Ok(None);
+        };
+        match type_byte {
+            b'+' | b'-' | b':' => {
+                let Some((line, consumed)) = read_line(&input[1..]) else {
+                    return Ok(None);
+                };
+                let total = 1 + consumed;
+                let text =
+                    std::str::from_utf8(line).map_err(|_| ParseError::BadFraming)?;
+                let value = match type_byte {
+                    b'+' => RespValue::Simple(text.to_string()),
+                    b'-' => RespValue::Error(text.to_string()),
+                    _ => RespValue::Integer(
+                        text.parse::<i64>().map_err(|_| ParseError::BadInteger)?,
+                    ),
+                };
+                Ok(Some((value, total)))
+            }
+            b'$' => {
+                let Some((line, consumed)) = read_line(&input[1..]) else {
+                    return Ok(None);
+                };
+                let header = 1 + consumed;
+                let len = parse_len(line)?;
+                let Some(len) = len else {
+                    return Ok(Some((RespValue::Bulk(None), header)));
+                };
+                let need = header + len + 2;
+                if input.len() < need {
+                    return Ok(None);
+                }
+                if &input[header + len..need] != b"\r\n" {
+                    return Err(ParseError::BadFraming);
+                }
+                let data = Bytes::copy_from_slice(&input[header..header + len]);
+                Ok(Some((RespValue::Bulk(Some(data)), need)))
+            }
+            b'*' => {
+                let Some((line, consumed)) = read_line(&input[1..]) else {
+                    return Ok(None);
+                };
+                let mut pos = 1 + consumed;
+                let len = parse_len(line)?;
+                let Some(len) = len else {
+                    return Ok(Some((RespValue::Array(None), pos)));
+                };
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    match RespValue::parse(&input[pos..])? {
+                        None => return Ok(None),
+                        Some((item, used)) => {
+                            items.push(item);
+                            pos += used;
+                        }
+                    }
+                }
+                Ok(Some((RespValue::Array(Some(items)), pos)))
+            }
+            other => Err(ParseError::BadType(other)),
+        }
+    }
+}
+
+/// Read up to the first CRLF; returns (line content, bytes consumed incl CRLF).
+fn read_line(input: &[u8]) -> Option<(&[u8], usize)> {
+    let pos = input.windows(2).position(|w| w == b"\r\n")?;
+    Some((&input[..pos], pos + 2))
+}
+
+/// Parse a RESP length field; `-1` means null.
+fn parse_len(line: &[u8]) -> Result<Option<usize>, ParseError> {
+    let text = std::str::from_utf8(line).map_err(|_| ParseError::BadInteger)?;
+    let n = text.parse::<i64>().map_err(|_| ParseError::BadInteger)?;
+    match n {
+        -1 => Ok(None),
+        n if n >= 0 => Ok(Some(n as usize)),
+        _ => Err(ParseError::BadInteger),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &RespValue) {
+        let encoded = v.to_bytes();
+        let (parsed, consumed) = RespValue::parse(&encoded).unwrap().unwrap();
+        assert_eq!(&parsed, v);
+        assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn roundtrips_all_types() {
+        roundtrip(&RespValue::Simple("OK".into()));
+        roundtrip(&RespValue::Error("ERR boom".into()));
+        roundtrip(&RespValue::Integer(-42));
+        roundtrip(&RespValue::bulk("hello"));
+        roundtrip(&RespValue::Bulk(None));
+        roundtrip(&RespValue::Array(None));
+        roundtrip(&RespValue::array(vec![
+            RespValue::bulk("GET"),
+            RespValue::bulk("key"),
+            RespValue::Integer(7),
+            RespValue::array(vec![RespValue::ok()]),
+        ]));
+    }
+
+    #[test]
+    fn known_wire_formats() {
+        assert_eq!(RespValue::ok().to_bytes(), b"+OK\r\n");
+        assert_eq!(RespValue::bulk("ab").to_bytes(), b"$2\r\nab\r\n");
+        assert_eq!(RespValue::Bulk(None).to_bytes(), b"$-1\r\n");
+        assert_eq!(RespValue::Integer(10).to_bytes(), b":10\r\n");
+    }
+
+    #[test]
+    fn incomplete_input_returns_none() {
+        let full = RespValue::array(vec![RespValue::bulk("GET"), RespValue::bulk("k")]).to_bytes();
+        for cut in 0..full.len() {
+            let r = RespValue::parse(&full[..cut]).unwrap();
+            assert!(r.is_none(), "prefix of {cut} bytes parsed as complete");
+        }
+    }
+
+    #[test]
+    fn parse_consumes_exactly_one_frame() {
+        let mut buf = RespValue::Integer(1).to_bytes();
+        buf.extend_from_slice(&RespValue::Integer(2).to_bytes());
+        let (v1, used) = RespValue::parse(&buf).unwrap().unwrap();
+        assert_eq!(v1, RespValue::Integer(1));
+        let (v2, _) = RespValue::parse(&buf[used..]).unwrap().unwrap();
+        assert_eq!(v2, RespValue::Integer(2));
+    }
+
+    #[test]
+    fn bad_type_byte_is_error() {
+        assert_eq!(RespValue::parse(b"!oops\r\n"), Err(ParseError::BadType(b'!')));
+    }
+
+    #[test]
+    fn bad_bulk_framing_is_error() {
+        // Declared 2 bytes but terminator is wrong.
+        assert_eq!(
+            RespValue::parse(b"$2\r\nabXY"),
+            Err(ParseError::BadFraming)
+        );
+    }
+
+    #[test]
+    fn bad_integer_is_error() {
+        assert_eq!(RespValue::parse(b":4x\r\n"), Err(ParseError::BadInteger));
+        assert_eq!(RespValue::parse(b"$-5\r\n"), Err(ParseError::BadInteger));
+    }
+
+    #[test]
+    fn binary_safe_bulk() {
+        let v = RespValue::bulk(vec![0u8, 13, 10, 255]);
+        roundtrip(&v);
+    }
+}

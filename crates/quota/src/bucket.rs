@@ -1,0 +1,161 @@
+//! Virtual-time token buckets — the quota enforcement primitive.
+
+use abase_util::clock::SimTime;
+
+/// A token bucket over virtual time.
+///
+/// Tokens accrue continuously at `rate_per_sec` up to `burst` capacity.
+/// `try_consume` either debits the requested amount or rejects atomically, so
+/// a burst can momentarily exceed the steady rate by at most `burst` tokens —
+/// exactly the slack ABase's proxy uses to absorb sub-second jitter.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec`, holding at most `burst` tokens,
+    /// starting full at virtual time `now`.
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` is negative or `burst` is non-positive.
+    pub fn new(rate_per_sec: f64, burst: f64, now: SimTime) -> Self {
+        assert!(rate_per_sec >= 0.0, "rate must be non-negative");
+        assert!(burst > 0.0, "burst must be positive");
+        Self {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: now,
+        }
+    }
+
+    /// Steady refill rate (tokens per virtual second).
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Change the refill rate (quota scaling); takes effect from `now`.
+    pub fn set_rate(&mut self, rate_per_sec: f64, now: SimTime) {
+        assert!(rate_per_sec >= 0.0, "rate must be non-negative");
+        self.refill(now);
+        self.rate_per_sec = rate_per_sec;
+    }
+
+    /// Change the burst capacity; excess stored tokens are clipped.
+    pub fn set_burst(&mut self, burst: f64, now: SimTime) {
+        assert!(burst > 0.0, "burst must be positive");
+        self.refill(now);
+        self.burst = burst;
+        self.tokens = self.tokens.min(burst);
+    }
+
+    /// Tokens available at `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Attempt to debit `amount` tokens at `now`. Returns `true` on success;
+    /// on failure the bucket is left unchanged.
+    pub fn try_consume(&mut self, now: SimTime, amount: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= amount {
+            self.tokens -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debit `amount` unconditionally (may drive the balance negative). Used
+    /// when a charge is determined only after execution — e.g. a read whose
+    /// actual returned size exceeded the estimate; the deficit throttles
+    /// subsequent requests.
+    pub fn consume_saturating(&mut self, now: SimTime, amount: f64) {
+        self.refill(now);
+        self.tokens -= amount;
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last_refill {
+            return;
+        }
+        let elapsed_sec = (now - self.last_refill) as f64 / 1_000_000.0;
+        self.tokens = (self.tokens + elapsed_sec * self.rate_per_sec).min(self.burst);
+        self.last_refill = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abase_util::clock::secs;
+
+    #[test]
+    fn starts_full_and_consumes() {
+        let mut b = TokenBucket::new(10.0, 100.0, 0);
+        assert!(b.try_consume(0, 100.0));
+        assert!(!b.try_consume(0, 0.1));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(10.0, 100.0, 0);
+        assert!(b.try_consume(0, 100.0));
+        // After 5 s, 50 tokens accrued.
+        assert!((b.available(secs(5)) - 50.0).abs() < 1e-9);
+        assert!(b.try_consume(secs(5), 50.0));
+        assert!(!b.try_consume(secs(5), 1.0));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(1000.0, 50.0, 0);
+        assert!((b.available(secs(60)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_consume_leaves_balance() {
+        let mut b = TokenBucket::new(0.0, 10.0, 0);
+        assert!(!b.try_consume(0, 11.0));
+        assert!((b.available(0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_consume_creates_deficit() {
+        let mut b = TokenBucket::new(10.0, 10.0, 0);
+        b.consume_saturating(0, 25.0);
+        assert!(b.available(0) < 0.0);
+        // Deficit of 15 takes 1.5 s to pay back before new work admits.
+        assert!(!b.try_consume(secs(1), 0.1));
+        assert!(b.try_consume(secs(2), 0.1));
+    }
+
+    #[test]
+    fn rate_change_takes_effect_forward_only() {
+        let mut b = TokenBucket::new(10.0, 1000.0, 0);
+        b.try_consume(0, 1000.0);
+        b.set_rate(100.0, secs(1)); // first second accrues at 10/s
+        let avail = b.available(secs(2)); // second second at 100/s
+        assert!((avail - 110.0).abs() < 1e-9, "got {avail}");
+    }
+
+    #[test]
+    fn burst_shrink_clips_tokens() {
+        let mut b = TokenBucket::new(1.0, 100.0, 0);
+        b.set_burst(10.0, 0);
+        assert!((b.available(0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_never_rewinds_refill() {
+        let mut b = TokenBucket::new(10.0, 100.0, secs(10));
+        b.try_consume(secs(10), 100.0);
+        // A stale timestamp must not mint tokens.
+        assert_eq!(b.available(secs(5)), 0.0);
+    }
+}

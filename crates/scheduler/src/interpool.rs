@@ -1,0 +1,209 @@
+//! Inter-pool rescheduling (paper §5.3, final paragraph).
+//!
+//! "To balance the resource utilization between two resource pools, Pool_H
+//! (with higher load) and Pool_L (with lower load), we tend to vacate a
+//! portion of the DataNodes from Pool_L and reallocate them to Pool_H.
+//! Initially, we select some low-utilization DataNodes from Pool_L and migrate
+//! replicas from these selected DataNodes to others within the same pool.
+//! Then, we reassign these vacated DataNodes to Pool_H. Finally, we invoke the
+//! intra-pool algorithm to re-balance the load within the two resource pools."
+
+use crate::load::{NodeState, PoolState};
+use crate::reschedule::{Migration, Rescheduler};
+
+/// Result of one inter-pool rebalancing action.
+#[derive(Debug, Default)]
+pub struct InterPoolOutcome {
+    /// Ids of the nodes moved from the low pool into the high pool.
+    pub reassigned_nodes: Vec<u32>,
+    /// Migrations executed while vacating nodes inside the low pool.
+    pub vacate_migrations: Vec<Migration>,
+    /// Migrations executed by the final intra-pool passes.
+    pub rebalance_migrations: Vec<Migration>,
+}
+
+/// Combined utilization of a pool: mean of RU and storage utilization of the
+/// whole pool (capacity-weighted).
+pub fn pool_pressure(pool: &PoolState) -> f64 {
+    let (r, s) = pool.optimal_load();
+    (r + s) / 2.0
+}
+
+/// Move up to `max_nodes` of the least-utilized nodes of `low` into `high`,
+/// vacating their replicas first, then rebalance both pools intra-pool.
+///
+/// Returns `None` when `low` has no node that can be fully vacated (every
+/// replica must find a valid destination).
+pub fn rebalance_pools(
+    high: &mut PoolState,
+    low: &mut PoolState,
+    max_nodes: usize,
+    rescheduler: &Rescheduler,
+) -> Option<InterPoolOutcome> {
+    let mut outcome = InterPoolOutcome::default();
+    for _ in 0..max_nodes {
+        // Pick the least-utilized node in the low pool.
+        let idx = (0..low.nodes.len()).min_by(|&a, &b| {
+            let ua = low.nodes[a].ru_util() + low.nodes[a].storage_util();
+            let ub = low.nodes[b].ru_util() + low.nodes[b].storage_util();
+            ua.partial_cmp(&ub).expect("finite utilization")
+        })?;
+        if low.nodes.len() <= 1 {
+            break; // never empty a pool completely
+        }
+        // Vacate it: move every replica to the best-gain destination within
+        // the same pool (any node that can host it and stays feasible).
+        let mut node = low.nodes.remove(idx);
+        let mut vacated = Vec::new();
+        let replica_ids: Vec<u64> = node.replicas.iter().map(|r| r.id).collect();
+        let mut ok = true;
+        for rid in replica_ids {
+            let replica = node.remove_replica(rid).expect("replica present");
+            // Destination: lowest storage+ru utilization node not hosting the
+            // partition.
+            let dst = (0..low.nodes.len())
+                .filter(|&i| !low.nodes[i].hosts_partition(replica.partition))
+                .min_by(|&a, &b| {
+                    let ua = low.nodes[a].ru_util() + low.nodes[a].storage_util();
+                    let ub = low.nodes[b].ru_util() + low.nodes[b].storage_util();
+                    ua.partial_cmp(&ub).expect("finite utilization")
+                });
+            match dst {
+                Some(d) => {
+                    outcome.vacate_migrations.push(Migration {
+                        replica_id: rid,
+                        from_node: node.id,
+                        to_node: low.nodes[d].id,
+                        resource: crate::reschedule::Resource::Ru,
+                        gain: 0.0,
+                    });
+                    low.nodes[d].add_replica(replica);
+                    vacated.push(rid);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            // Could not vacate: put the node back and stop.
+            low.nodes.push(node);
+            break;
+        }
+        // Reassign the empty node to the high pool.
+        outcome.reassigned_nodes.push(node.id);
+        debug_assert!(node.replicas.is_empty());
+        high.nodes.push(NodeState::new(
+            node.id,
+            node.ru_capacity,
+            node.storage_capacity,
+        ));
+    }
+    if outcome.reassigned_nodes.is_empty() {
+        return None;
+    }
+    // Final intra-pool rebalance of both pools.
+    outcome
+        .rebalance_migrations
+        .extend(rescheduler.rebalance_to_convergence(high, 100));
+    outcome
+        .rebalance_migrations
+        .extend(rescheduler.rebalance_to_convergence(low, 100));
+    Some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{LoadVector, ReplicaLoad};
+
+    fn replica(id: u64, partition: u64, ru: f64, storage: f64) -> ReplicaLoad {
+        ReplicaLoad {
+            id,
+            tenant: 1,
+            partition,
+            ru: LoadVector::flat(ru),
+            storage,
+        }
+    }
+
+    fn pool(n_nodes: u32, replicas_per_node: u64, ru: f64, storage: f64, id0: u32) -> PoolState {
+        let mut nodes = Vec::new();
+        let mut rid = u64::from(id0) * 10_000;
+        for i in 0..n_nodes {
+            let mut node = NodeState::new(id0 + i, 100.0, 1000.0);
+            for _ in 0..replicas_per_node {
+                node.add_replica(replica(rid, rid, ru, storage));
+                rid += 1;
+            }
+            nodes.push(node);
+        }
+        PoolState::new(nodes)
+    }
+
+    #[test]
+    fn pressure_orders_pools() {
+        let busy = pool(4, 8, 10.0, 100.0, 0);
+        let idle = pool(4, 1, 2.0, 10.0, 100);
+        assert!(pool_pressure(&busy) > pool_pressure(&idle));
+    }
+
+    #[test]
+    fn nodes_move_from_low_to_high_pool() {
+        let mut high = pool(4, 9, 10.0, 100.0, 0); // ~90% loaded
+        let mut low = pool(4, 1, 2.0, 10.0, 100); // nearly idle
+        let before_high_nodes = high.nodes.len();
+        let before_low_replicas = low.replica_count();
+        let out = rebalance_pools(&mut high, &mut low, 2, &Rescheduler::default()).unwrap();
+        assert_eq!(out.reassigned_nodes.len(), 2);
+        assert_eq!(high.nodes.len(), before_high_nodes + 2);
+        assert_eq!(low.nodes.len(), 2);
+        // No replica lost in the shuffle.
+        assert_eq!(low.replica_count(), before_low_replicas);
+        // High pool pressure decreased (more capacity, same load).
+        assert!(pool_pressure(&high) < 0.9);
+    }
+
+    #[test]
+    fn vacated_replicas_preserve_partition_constraint() {
+        let mut high = pool(2, 8, 10.0, 100.0, 0);
+        let mut low = pool(3, 2, 2.0, 10.0, 100);
+        rebalance_pools(&mut high, &mut low, 1, &Rescheduler::default());
+        for node in low.nodes.iter().chain(high.nodes.iter()) {
+            let mut parts: Vec<u64> = node.replicas.iter().map(|r| r.partition).collect();
+            let before = parts.len();
+            parts.sort_unstable();
+            parts.dedup();
+            assert_eq!(parts.len(), before, "partition co-located on node {}", node.id);
+        }
+    }
+
+    #[test]
+    fn never_empties_the_low_pool() {
+        let mut high = pool(2, 8, 10.0, 100.0, 0);
+        let mut low = pool(2, 1, 1.0, 5.0, 100);
+        let out = rebalance_pools(&mut high, &mut low, 10, &Rescheduler::default());
+        assert!(!low.nodes.is_empty());
+        if let Some(out) = out {
+            assert!(out.reassigned_nodes.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn high_pool_gets_rebalanced_onto_new_nodes() {
+        let mut high = pool(3, 10, 10.0, 100.0, 0);
+        let mut low = pool(4, 1, 1.0, 5.0, 100);
+        let before_std = high.ru_util_std();
+        let out = rebalance_pools(&mut high, &mut low, 2, &Rescheduler::default()).unwrap();
+        assert!(!out.rebalance_migrations.is_empty());
+        // New nodes received load: std over the larger pool must not explode.
+        assert!(high.ru_util_std() <= before_std + 0.35);
+        let new_node_has_load = high
+            .nodes
+            .iter()
+            .filter(|n| out.reassigned_nodes.contains(&n.id))
+            .any(|n| !n.replicas.is_empty());
+        assert!(new_node_has_load, "reassigned nodes stayed empty");
+    }
+}

@@ -1,0 +1,203 @@
+//! Log-bucketed latency histogram.
+//!
+//! Figure 4a of the paper reports per-tenant P99 latency relative to the SLA.
+//! Recording every request latency exactly would dominate simulation memory, so
+//! the simulator uses a histogram with logarithmically spaced buckets: constant
+//! relative error (~5 % by default) at any latency magnitude.
+
+/// A histogram over positive values with log-spaced buckets.
+///
+/// Values are clamped into `[min, max]`. Quantile queries return the geometric
+/// midpoint of the bucket containing the requested rank, giving bounded relative
+/// error determined by `growth`.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    min: f64,
+    /// log(growth); bucket i covers [min * growth^i, min * growth^(i+1)).
+    log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl LatencyHistogram {
+    /// A histogram covering `[min, max]` with buckets growing by factor `growth`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min < max` and `growth > 1`.
+    pub fn new(min: f64, max: f64, growth: f64) -> Self {
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        assert!(growth > 1.0, "growth factor must exceed 1");
+        let log_growth = growth.ln();
+        let n_buckets = ((max / min).ln() / log_growth).ceil() as usize + 1;
+        Self {
+            min,
+            log_growth,
+            counts: vec![0; n_buckets],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Histogram suited to request latencies in microseconds: 10 µs .. 100 s,
+    /// 5 % bucket growth.
+    pub fn for_latency_micros() -> Self {
+        Self::new(10.0, 100_000_000.0, 1.05)
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        if value <= self.min {
+            return 0;
+        }
+        let idx = ((value / self.min).ln() / self.log_growth) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bucket_index(value.max(0.0));
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Record `n` identical observations.
+    pub fn record_n(&mut self, value: f64, n: u64) {
+        let idx = self.bucket_index(value.max(0.0));
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += value * n as f64;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded observations (exact, not bucketed). 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0,1]`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Geometric midpoint of bucket i.
+                let lo = self.min * (self.log_growth * i as f64).exp();
+                let hi = lo * self.log_growth.exp();
+                return Some((lo * hi).sqrt());
+            }
+        }
+        unreachable!("cumulative count must reach total");
+    }
+
+    /// Merge another histogram with identical bucket layout.
+    ///
+    /// # Panics
+    /// Panics if layouts differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "layout mismatch");
+        assert!((self.min - other.min).abs() < f64::EPSILON, "layout mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Reset all counts to zero.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LatencyHistogram::for_latency_micros();
+        for i in 1..=10_000u64 {
+            h.record(i as f64 * 10.0); // 10 µs .. 100 ms uniformly
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.06, "p50={p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.06, "p99={p99}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = LatencyHistogram::for_latency_micros();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::for_latency_micros();
+        h.record(100.0);
+        h.record(300.0);
+        assert!((h.mean() - 200.0).abs() < 1e-12);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = LatencyHistogram::for_latency_micros();
+        let mut b = LatencyHistogram::for_latency_micros();
+        for _ in 0..7 {
+            a.record(555.0);
+        }
+        b.record_n(555.0, 7);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::for_latency_micros();
+        let mut b = LatencyHistogram::for_latency_micros();
+        a.record(100.0);
+        b.record(10_000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        // p0 should be near 100, p100 near 10_000.
+        assert!(a.quantile(0.01).unwrap() < 200.0);
+        assert!(a.quantile(1.0).unwrap() > 5_000.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = LatencyHistogram::new(10.0, 1000.0, 1.5);
+        h.record(1.0); // below min
+        h.record(1e12); // above max
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0).unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::for_latency_micros();
+        h.record(42.0);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

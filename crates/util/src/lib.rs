@@ -1,0 +1,24 @@
+//! # abase-util
+//!
+//! Foundation utilities shared by every ABase crate:
+//!
+//! * [`clock`] — virtual (simulated) time. All ABase components are written against an
+//!   explicit time parameter so that cluster-scale experiments run deterministically
+//!   in virtual time instead of wall-clock time.
+//! * [`stats`] — moving averages (the paper's "moving average of the last *k* requests"
+//!   estimators, §4.1), EWMA, and Welford online mean/variance.
+//! * [`histogram`] — log-bucketed histograms for latency percentiles (Figure 4).
+//! * [`series`] — fixed-interval time series with the hourly resampling and
+//!   hour-of-day max aggregation used by the rescheduler's load vectors (§5.3).
+
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod histogram;
+pub mod series;
+pub mod stats;
+
+pub use clock::{SimClock, SimTime, Ticks};
+pub use histogram::LatencyHistogram;
+pub use series::{hour_of_day_profile, Aggregation, TimeSeries};
+pub use stats::{percentile, percentile_sorted, Ewma, MovingAverage, OnlineStats, WindowedRate};

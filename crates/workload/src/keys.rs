@@ -1,0 +1,182 @@
+//! Keyed request streams.
+//!
+//! Generates the per-request detail the cache and isolation experiments need:
+//! which key, read or write, and how large — with tunable Zipf skew (hot keys)
+//! and a shiftable keyspace window (cache-dilution events).
+
+use crate::dist::{LogNormal, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a keyed workload.
+#[derive(Debug, Clone)]
+pub struct KeyspaceConfig {
+    /// Number of distinct keys.
+    pub n_keys: usize,
+    /// Zipf exponent for key popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Fraction of operations that are reads.
+    pub read_ratio: f64,
+    /// Value size distribution (log-normal around the profile's mean).
+    pub value_size: LogNormal,
+    /// Prefix baked into generated key strings (tenant/table namespace).
+    pub key_prefix: String,
+}
+
+impl Default for KeyspaceConfig {
+    fn default() -> Self {
+        Self {
+            n_keys: 100_000,
+            zipf_s: 0.99,
+            read_ratio: 0.9,
+            value_size: LogNormal::from_median_p90(1024.0, 4.0),
+            key_prefix: "k".to_string(),
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Dense key index in `{0, …, n_keys−1}` (0 = hottest).
+    pub key_rank: usize,
+    /// Materialized key string.
+    pub key: String,
+    /// True for writes.
+    pub is_write: bool,
+    /// Value size in bytes (for writes: payload; for reads: expected size).
+    pub value_bytes: usize,
+}
+
+/// A deterministic request stream.
+#[derive(Debug)]
+pub struct RequestGen {
+    config: KeyspaceConfig,
+    zipf: Zipf,
+    rng: StdRng,
+    /// Offset added to ranks (mod n) — shifting it dilutes the cache, the
+    /// Figure 5b/5e "access distribution change" mechanism.
+    window_offset: usize,
+}
+
+impl RequestGen {
+    /// A stream over `config` seeded with `seed`.
+    pub fn new(config: KeyspaceConfig, seed: u64) -> Self {
+        let zipf = Zipf::new(config.n_keys, config.zipf_s);
+        Self {
+            config,
+            zipf,
+            rng: StdRng::seed_from_u64(seed),
+            window_offset: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &KeyspaceConfig {
+        &self.config
+    }
+
+    /// Shift the popularity window by `delta` keys: previously-hot keys go
+    /// cold and vice versa (cold-scan / cache-dilution events).
+    pub fn shift_window(&mut self, delta: usize) {
+        self.window_offset = (self.window_offset + delta) % self.config.n_keys;
+    }
+
+    /// Change the Zipf skew in place (hot-key events sharpen it).
+    pub fn set_skew(&mut self, s: f64) {
+        self.config.zipf_s = s;
+        self.zipf = Zipf::new(self.config.n_keys, s);
+    }
+
+    /// Draw the next request.
+    pub fn next_request(&mut self) -> RequestSpec {
+        let rank = (self.zipf.sample(&mut self.rng) + self.window_offset) % self.config.n_keys;
+        let is_write = self.rng.gen::<f64>() >= self.config.read_ratio;
+        let value_bytes = self.config.value_size.sample(&mut self.rng).max(1.0) as usize;
+        RequestSpec {
+            key_rank: rank,
+            key: format!("{}:{rank:010}", self.config.key_prefix),
+            is_write,
+            value_bytes,
+        }
+    }
+
+    /// Draw `n` requests.
+    pub fn take(&mut self, n: usize) -> Vec<RequestSpec> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(read_ratio: f64, s: f64) -> RequestGen {
+        RequestGen::new(
+            KeyspaceConfig {
+                n_keys: 10_000,
+                zipf_s: s,
+                read_ratio,
+                ..Default::default()
+            },
+            77,
+        )
+    }
+
+    #[test]
+    fn read_write_mix_matches_ratio() {
+        let mut g = gen(0.75, 0.9);
+        let reqs = g.take(20_000);
+        let writes = reqs.iter().filter(|r| r.is_write).count() as f64;
+        assert!((writes / 20_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_concentrates_traffic_on_head() {
+        let mut g = gen(1.0, 1.1);
+        let reqs = g.take(50_000);
+        let head = reqs.iter().filter(|r| r.key_rank < 100).count() as f64;
+        assert!(head / 50_000.0 > 0.4, "head share {}", head / 50_000.0);
+    }
+
+    #[test]
+    fn window_shift_moves_the_hot_set() {
+        let mut g = gen(1.0, 1.2);
+        let before = g.take(10_000);
+        g.shift_window(5_000);
+        let after = g.take(10_000);
+        let hot_before: std::collections::HashSet<usize> =
+            before.iter().filter(|r| r.key_rank < 100).map(|r| r.key_rank).collect();
+        // After the shift, the most frequent ranks moved by ~5000.
+        let shifted_hot = after.iter().filter(|r| (5_000..5_100).contains(&r.key_rank)).count();
+        assert!(shifted_hot > 1000, "shifted_hot={shifted_hot}");
+        assert!(!hot_before.is_empty());
+    }
+
+    #[test]
+    fn keys_are_stable_strings() {
+        let mut g = gen(1.0, 1.0);
+        let r = g.next_request();
+        assert!(r.key.starts_with("k:"));
+        assert_eq!(r.key.len(), "k:".len() + 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = gen(0.8, 1.0);
+        let mut b = gen(0.8, 1.0);
+        assert_eq!(a.take(100), b.take(100));
+    }
+
+    #[test]
+    fn sharper_skew_raises_head_share() {
+        let mut mild = gen(1.0, 0.8);
+        let mut sharp = gen(1.0, 1.4);
+        let head = |reqs: &[RequestSpec]| {
+            reqs.iter().filter(|r| r.key_rank < 10).count() as f64 / reqs.len() as f64
+        };
+        let m = head(&mild.take(30_000));
+        let s = head(&sharp.take(30_000));
+        assert!(s > m * 2.0, "mild={m} sharp={s}");
+    }
+}

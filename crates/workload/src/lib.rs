@@ -1,0 +1,34 @@
+//! # abase-workload
+//!
+//! Synthetic workload generation standing in for ByteDance production traces.
+//!
+//! * [`profiles`] — the seven business workloads of **Table 1** (social-media
+//!   comments and DMs, e-commerce metadata, search forward-index, ad message
+//!   joiner, recommendation dedup, LLM KV-cache) with their normalized
+//!   throughput/storage, hit ratios, read ratios, KV sizes, and TTLs.
+//! * [`dist`] — deterministic samplers: Zipf (hot keys), log-normal (sizes and
+//!   tenant scales), Box-Muller normal — implemented in-tree so the dependency
+//!   set stays at the sanctioned `rand`.
+//! * [`population`] — tenant populations matching the **Figure 3/4**
+//!   distributions (correlated RU/storage, read-ratio structure, long-tailed
+//!   KV sizes).
+//! * [`keys`] — keyed request streams over a keyspace with tunable skew.
+//! * [`scenarios`] — traffic shapes for the **Figure 5–7** experiments
+//!   (bursts, ramps, hot-key events, cache-dilution shifts).
+//! * [`series`] — synthetic hourly metric series with trend, seasonality,
+//!   bursts, and changepoints for the **Figure 8** forecasting experiments.
+
+#![deny(missing_docs)]
+
+pub mod dist;
+pub mod keys;
+pub mod population;
+pub mod profiles;
+pub mod scenarios;
+pub mod series;
+
+pub use dist::{LogNormal, Zipf};
+pub use keys::{KeyspaceConfig, RequestGen, RequestSpec};
+pub use population::{Tenant, TenantPopulation};
+pub use profiles::{WorkloadProfile, TABLE1_PROFILES};
+pub use scenarios::TrafficShape;

