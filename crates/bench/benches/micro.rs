@@ -157,7 +157,13 @@ fn bench_forecast(c: &mut Criterion) {
         b.iter(|| black_box(dominant_period(&values, 20.0)));
     });
     group.bench_function("prophet_fit_720", |b| {
-        b.iter(|| black_box(ProphetModel::fit(&values, Some(24), ProphetConfig::default())));
+        b.iter(|| {
+            black_box(ProphetModel::fit(
+                &values,
+                Some(24),
+                ProphetConfig::default(),
+            ))
+        });
     });
     group.finish();
 }
@@ -170,7 +176,9 @@ fn bench_rescheduler(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut pool = PoolState::new(
-                    (0..100).map(|i| NodeState::new(i, 1_000.0, 10_000.0)).collect(),
+                    (0..100)
+                        .map(|i| NodeState::new(i, 1_000.0, 10_000.0))
+                        .collect(),
                 );
                 for id in 0..800u64 {
                     let node = (id % 30) as usize;

@@ -57,8 +57,14 @@ fn main() {
     let passive = run(false, seconds);
     let active = run(true, seconds);
     println!("backend misses per second (after warm-up):");
-    println!("  passive [{}]", sparkline(&passive.iter().map(|&m| m as f64).collect::<Vec<_>>()));
-    println!("  active  [{}]", sparkline(&active.iter().map(|&m| m as f64).collect::<Vec<_>>()));
+    println!(
+        "  passive [{}]",
+        sparkline(&passive.iter().map(|&m| m as f64).collect::<Vec<_>>())
+    );
+    println!(
+        "  active  [{}]",
+        sparkline(&active.iter().map(|&m| m as f64).collect::<Vec<_>>())
+    );
     // Steady-state window: skip the first TTL period.
     let steady = 30usize;
     let stats = |xs: &[u64]| {
@@ -81,7 +87,10 @@ fn main() {
             format!("{a_peak}"),
         ],
     ];
-    print_table(&["metric (steady state)", "passive TTL", "active refresh"], &rows);
+    print_table(
+        &["metric (steady state)", "passive TTL", "active refresh"],
+        &rows,
+    );
     println!(
         "\nexpiry-spike reduction: {}x",
         fmt(p_peak as f64 / a_peak.max(1) as f64, 1)

@@ -7,9 +7,9 @@
 
 use abase_bench::{banner, pct, print_table};
 use abase_cache::{LruCache, SaLruCache};
+use abase_workload::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use abase_workload::Zipf;
 
 /// Generate the access stream: 95 % small-item reads (Zipf over 20k keys,
 /// 128 B), 5 % large cold blobs (256 KB, rarely re-read).

@@ -51,8 +51,12 @@ fn run(segregated: bool, ticks: usize) -> f64 {
             }
         }
         if segregated {
-            let (small_done, used) =
-                small_q.drain_cpu(CpuTickBudget { ru: total_budget * small_share }, false);
+            let (small_done, used) = small_q.drain_cpu(
+                CpuTickBudget {
+                    ru: total_budget * small_share,
+                },
+                false,
+            );
             let _ = mixed_q.drain_cpu(
                 CpuTickBudget {
                     ru: total_budget - used.min(total_budget * small_share),

@@ -21,8 +21,14 @@ fn main() {
     // Correlation structure.
     let ru_storage = population.correlation(|t| t.ru.ln(), |t| t.storage.ln());
     let ratio_read = population.correlation(|t| (t.ru / t.storage).ln(), |t| t.read_ratio);
-    println!("corr(log RU, log storage)          = {}", fmt(ru_storage, 3));
-    println!("corr(log RU/storage, read ratio)   = {}\n", fmt(ratio_read, 3));
+    println!(
+        "corr(log RU, log storage)          = {}",
+        fmt(ru_storage, 3)
+    );
+    println!(
+        "corr(log RU/storage, read ratio)   = {}\n",
+        fmt(ratio_read, 3)
+    );
 
     // Read ratio by RU/storage quartile — the "lower right is darker" claim.
     let mut ratios: Vec<(f64, f64)> = population
@@ -35,11 +41,19 @@ fn main() {
     let mut rows = Vec::new();
     for q in 0..4 {
         let lo = q * quartile;
-        let hi = if q == 3 { ratios.len() } else { (q + 1) * quartile };
+        let hi = if q == 3 {
+            ratios.len()
+        } else {
+            (q + 1) * quartile
+        };
         let slice = &ratios[lo..hi];
         let mean_read = slice.iter().map(|(_, r)| r).sum::<f64>() / slice.len() as f64;
         rows.push(vec![
-            format!("Q{} (RU/storage {})", q + 1, ["lowest", "low", "high", "highest"][q]),
+            format!(
+                "Q{} (RU/storage {})",
+                q + 1,
+                ["lowest", "low", "high", "highest"][q]
+            ),
             pct(mean_read),
         ]);
     }
@@ -58,7 +72,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["tenant", "RU (norm)", "storage (norm)", "read ratio", "hit ratio"],
+        &[
+            "tenant",
+            "RU (norm)",
+            "storage (norm)",
+            "read ratio",
+            "hit ratio",
+        ],
         &rows,
     );
 }

@@ -86,8 +86,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for minute in [0, 5, 9, 11, 15, 25, 36, 38, 42, 44] {
-        let p1 = all.iter().find(|p| p.minute == minute && p.tenant == 1).expect("point");
-        let p2 = all.iter().find(|p| p.minute == minute && p.tenant == 2).expect("point");
+        let p1 = all
+            .iter()
+            .find(|p| p.minute == minute && p.tenant == 1)
+            .expect("point");
+        let p2 = all
+            .iter()
+            .find(|p| p.minute == minute && p.tenant == 2)
+            .expect("point");
         rows.push(vec![
             format!(
                 "{minute}{}",

@@ -7,7 +7,7 @@
 //! throttling."
 
 use abase_bench::{banner, fmt, print_table};
-use abase_scheduler::{Autoscaler, AutoscaleConfig, ScalingDecision};
+use abase_scheduler::{AutoscaleConfig, Autoscaler, ScalingDecision};
 use abase_util::clock::days;
 use abase_workload::series::fig8a_disk_usage;
 

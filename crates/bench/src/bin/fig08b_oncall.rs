@@ -34,13 +34,16 @@ fn main() {
         sparkline(&timeline.iter().map(|&c| f64::from(c)).collect::<Vec<_>>())
     );
     for (week, count) in timeline.iter().enumerate() {
-        let marker = if week == half { "  <-- deploy autoscaling" } else { "" };
+        let marker = if week == half {
+            "  <-- deploy autoscaling"
+        } else {
+            ""
+        };
         println!("  week {week:>2}: {}{marker}", "#".repeat(*count as usize));
     }
-    let before: f64 =
-        timeline[..half].iter().map(|&c| f64::from(c)).sum::<f64>() / half as f64;
-    let after: f64 = timeline[half..].iter().map(|&c| f64::from(c)).sum::<f64>()
-        / (config.weeks - half) as f64;
+    let before: f64 = timeline[..half].iter().map(|&c| f64::from(c)).sum::<f64>() / half as f64;
+    let after: f64 =
+        timeline[half..].iter().map(|&c| f64::from(c)).sum::<f64>() / (config.weeks - half) as f64;
     let reduction = 1.0 - after / before.max(1e-9);
     println!(
         "\nmean weekly oncalls: before {} after {} -> reduction {}%",

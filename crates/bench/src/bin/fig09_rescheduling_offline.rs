@@ -42,7 +42,7 @@ fn build_pool(n_nodes: u32, seed: u64) -> PoolState {
                 *slot = ru_peak * (1.0 + 0.4 * phase.sin()).max(0.1);
             }
             // Cluster of ~20 nodes around the tenant's home node.
-            let node = (home + rng.gen_range(0..20)) % n_nodes;
+            let node = (home + rng.gen_range(0..20u32)) % n_nodes;
             nodes[node as usize].add_replica(ReplicaLoad {
                 id: replica_id,
                 tenant: tenant.id,
@@ -101,10 +101,7 @@ fn main() {
             "84.8%".into(),
         ],
     ];
-    print_table(
-        &["metric", "before", "after", "reduction", "paper"],
-        &rows,
-    );
+    print_table(&["metric", "before", "after", "reduction", "paper"], &rows);
     println!(
         "\n{} migrations in {:.2?} (≤400 rounds of Algorithm 2)",
         moves.len(),

@@ -59,7 +59,11 @@ fn main() {
                 }
             }
         }
-        let measured_hit = if reads == 0 { 0.0 } else { hits as f64 / reads as f64 };
+        let measured_hit = if reads == 0 {
+            0.0
+        } else {
+            hits as f64 / reads as f64
+        };
         rows.push(vec![
             p.business_line.to_string(),
             p.workload.to_string(),

@@ -8,8 +8,8 @@
 //! ratios; grouping concentrates each key on `N/n` proxies.
 
 use abase_bench::{banner, pct, print_table};
-use abase_core::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
 use abase_cache::aulru::AuLruConfig;
+use abase_core::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
 use abase_util::clock::secs;
 use abase_workload::{KeyspaceConfig, RequestGen};
 
@@ -29,12 +29,66 @@ struct Case {
 const CASES: &[Case] = &[
     // Group counts are the paper's (#Group column); keyspace size and skew
     // are calibrated so the *before* hit ratio lands at the paper's baseline.
-    Case { name: "Social Media 1", n_proxies: 150, n_groups: 75, paper_before: 0.05, paper_after: 0.86, paper_saving: 0.85, n_keys: 189_000, zipf: 0.34 },
-    Case { name: "Social Media 2", n_proxies: 64,  n_groups: 32, paper_before: 0.05, paper_after: 0.67, paper_saving: 0.70, n_keys: 109_000, zipf: 0.25 },
-    Case { name: "Social Media 3", n_proxies: 30,  n_groups: 15, paper_before: 0.10, paper_after: 0.33, paper_saving: 0.38, n_keys: 380_000, zipf: 0.56 },
-    Case { name: "E-Commerce 1",   n_proxies: 30,  n_groups: 15, paper_before: 0.24, paper_after: 0.60, paper_saving: 0.61, n_keys: 137_000, zipf: 0.66 },
-    Case { name: "E-Commerce 2",   n_proxies: 60,  n_groups: 15, paper_before: 0.24, paper_after: 0.60, paper_saving: 0.57, n_keys: 137_000, zipf: 0.66 },
-    Case { name: "E-Commerce 3",   n_proxies: 168, n_groups: 15, paper_before: 0.24, paper_after: 0.60, paper_saving: 0.79, n_keys: 137_000, zipf: 0.66 },
+    Case {
+        name: "Social Media 1",
+        n_proxies: 150,
+        n_groups: 75,
+        paper_before: 0.05,
+        paper_after: 0.86,
+        paper_saving: 0.85,
+        n_keys: 189_000,
+        zipf: 0.34,
+    },
+    Case {
+        name: "Social Media 2",
+        n_proxies: 64,
+        n_groups: 32,
+        paper_before: 0.05,
+        paper_after: 0.67,
+        paper_saving: 0.70,
+        n_keys: 109_000,
+        zipf: 0.25,
+    },
+    Case {
+        name: "Social Media 3",
+        n_proxies: 30,
+        n_groups: 15,
+        paper_before: 0.10,
+        paper_after: 0.33,
+        paper_saving: 0.38,
+        n_keys: 380_000,
+        zipf: 0.56,
+    },
+    Case {
+        name: "E-Commerce 1",
+        n_proxies: 30,
+        n_groups: 15,
+        paper_before: 0.24,
+        paper_after: 0.60,
+        paper_saving: 0.61,
+        n_keys: 137_000,
+        zipf: 0.66,
+    },
+    Case {
+        name: "E-Commerce 2",
+        n_proxies: 60,
+        n_groups: 15,
+        paper_before: 0.24,
+        paper_after: 0.60,
+        paper_saving: 0.57,
+        n_keys: 137_000,
+        zipf: 0.66,
+    },
+    Case {
+        name: "E-Commerce 3",
+        n_proxies: 168,
+        n_groups: 15,
+        paper_before: 0.24,
+        paper_after: 0.60,
+        paper_saving: 0.79,
+        n_keys: 137_000,
+        zipf: 0.66,
+    },
 ];
 
 /// Run one configuration and return (hit ratio, ru saved fraction).

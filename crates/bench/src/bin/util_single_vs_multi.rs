@@ -6,9 +6,7 @@
 
 use abase_bench::{banner, pct, print_table};
 use abase_core::meta::RecoveryModel;
-use abase_core::placement::{
-    multi_tenant_utilization, single_tenant_utilization, MachineSpec,
-};
+use abase_core::placement::{multi_tenant_utilization, single_tenant_utilization, MachineSpec};
 use abase_workload::TenantPopulation;
 
 fn main() {
@@ -48,7 +46,12 @@ fn main() {
         ],
     ];
     print_table(
-        &["resource", "ABase-Pre (dedicated)", "ABase (pooled)", "paper"],
+        &[
+            "resource",
+            "ABase-Pre (dedicated)",
+            "ABase (pooled)",
+            "paper",
+        ],
         &rows,
     );
     println!("\n§3.3 robustness bounds that drive the gap:");

@@ -168,7 +168,8 @@ impl<K: Hash + Eq + Clone + Ord, V> AuLruCache<K, V> {
         self.stats.insertions += 1;
         let evicted = self.lru.insert(key.clone(), entry, size);
         self.stats.evictions += evicted.len() as u64;
-        self.expiry_heap.push(Reverse((expires_at, generation, key)));
+        self.expiry_heap
+            .push(Reverse((expires_at, generation, key)));
     }
 
     /// Re-arm an entry after an active refresh completed. Equivalent to
@@ -207,10 +208,7 @@ impl<K: Hash + Eq + Clone + Ord, V> AuLruCache<K, V> {
                 let e = self.lru.get_mut(&key).expect("entry present");
                 e.refresh_pending = true;
                 self.refreshes_emitted += 1;
-                out.push(RefreshCandidate {
-                    key,
-                    expires_at,
-                });
+                out.push(RefreshCandidate { key, expires_at });
             } else if expires_at <= now {
                 // Cold and already expired: reap eagerly to free memory.
                 self.lru.remove(&key);
@@ -218,7 +216,8 @@ impl<K: Hash + Eq + Clone + Ord, V> AuLruCache<K, V> {
             } else {
                 // Cold but not yet expired: re-queue for the expiry moment so
                 // we reap it (or it turns hot in the meantime).
-                self.expiry_heap.push(Reverse((expires_at, generation, key)));
+                self.expiry_heap
+                    .push(Reverse((expires_at, generation, key)));
                 break;
             }
         }

@@ -5,14 +5,21 @@
 //! ticks and emitting per-minute metric points — the series plotted in
 //! Figures 5, 6, and 7.
 
-use crate::node::DataNodeSim;
+use crate::meta::{MetaServer, ReplicaSet};
+use crate::node::{DataNodeConfig, DataNodeSim};
 use crate::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
-use crate::types::{Disposition, PartitionId, ServedFrom, SimRequest, TenantId};
+use crate::types::{Disposition, NodeId, PartitionId, ServedFrom, SimRequest, TenantId};
+use abase_lavastore::DbConfig;
 use abase_quota::TenantQuotaMonitor;
+use abase_replication::{
+    reconstruct_parallel, GroupConfig, Lsn, ReadConsistency, ReconstructionReport,
+    ReconstructionTask, ReplicaGroup, Role, WriteConcern,
+};
 use abase_util::clock::{mins, SimTime};
 use abase_util::LatencyHistogram;
 use abase_workload::{KeyspaceConfig, RequestGen, TrafficShape};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 /// Latency charged to a proxy-cache hit (never reaches a data node).
 const PROXY_HIT_LATENCY: SimTime = 150;
@@ -270,8 +277,7 @@ impl IsolationExperiment {
                             issued_at,
                             proxy: Some(proxy),
                         };
-                        if let Some(Disposition::RejectedAtNode) =
-                            self.node.submit(req, issued_at)
+                        if let Some(Disposition::RejectedAtNode) = self.node.submit(req, issued_at)
                         {
                             rt.acc.errors += 1;
                         }
@@ -330,11 +336,287 @@ impl IsolationExperiment {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Replicated cluster: real replica groups placed across DataNodes.
+// ---------------------------------------------------------------------------
+
+/// Configuration for a [`ReplicatedCluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicatedClusterConfig {
+    /// Replicas per partition (the paper's deployments use 3).
+    pub replication_factor: usize,
+    /// Write concern for every group.
+    pub write_concern: WriteConcern,
+    /// Storage engine configuration for every replica.
+    pub db: DbConfig,
+    /// Modeled per-node disk bandwidth for reconstruction (None = disk speed).
+    pub recovery_bandwidth: Option<f64>,
+}
+
+impl Default for ReplicatedClusterConfig {
+    fn default() -> Self {
+        Self {
+            replication_factor: 3,
+            write_concern: WriteConcern::Quorum,
+            db: DbConfig::default(),
+            recovery_bandwidth: None,
+        }
+    }
+}
+
+/// What [`ReplicatedCluster::kill_node`] did, for assertions and reports.
+#[derive(Debug)]
+pub struct FailoverOutcome {
+    /// The meta server's decisions (promotions + copy assignments).
+    pub plan: crate::meta::FailoverPlan,
+    /// Measured parallel-reconstruction run, when replicas were re-seeded.
+    pub reconstruction: Option<ReconstructionReport>,
+}
+
+/// A multi-node cluster where every partition is served by a real
+/// WAL-shipping [`ReplicaGroup`], placed and failed over by the
+/// [`MetaServer`] — the live counterpart of the closed-form §3.3 model.
+pub struct ReplicatedCluster {
+    base_dir: PathBuf,
+    config: ReplicatedClusterConfig,
+    meta: MetaServer,
+    nodes: HashMap<NodeId, DataNodeSim>,
+    node_ids: Vec<NodeId>,
+    dead_nodes: std::collections::HashSet<NodeId>,
+    groups: HashMap<PartitionId, ReplicaGroup>,
+}
+
+impl ReplicatedCluster {
+    /// A cluster of `n_nodes` empty DataNodes rooted at `base_dir`.
+    pub fn new(base_dir: impl AsRef<Path>, n_nodes: u32, config: ReplicatedClusterConfig) -> Self {
+        assert!(
+            (config.replication_factor as u32) <= n_nodes,
+            "replication factor exceeds node count"
+        );
+        let node_ids: Vec<NodeId> = (0..n_nodes).collect();
+        let nodes = node_ids
+            .iter()
+            .map(|&id| (id, DataNodeSim::new(id, DataNodeConfig::default())))
+            .collect();
+        Self {
+            base_dir: base_dir.as_ref().to_path_buf(),
+            config,
+            meta: MetaServer::new(mins(1)),
+            nodes,
+            node_ids,
+            dead_nodes: std::collections::HashSet::new(),
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Nodes currently alive, ascending.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.node_ids
+            .iter()
+            .copied()
+            .filter(|n| !self.dead_nodes.contains(n))
+            .collect()
+    }
+
+    /// The meta server (routing tables, failover planning).
+    pub fn meta(&self) -> &MetaServer {
+        &self.meta
+    }
+
+    /// A node's placement bookkeeping.
+    pub fn node(&self, id: NodeId) -> Option<&DataNodeSim> {
+        self.nodes.get(&id)
+    }
+
+    /// The replica group serving `partition`.
+    pub fn group(&self, partition: PartitionId) -> Option<&ReplicaGroup> {
+        self.groups.get(&partition)
+    }
+
+    /// Mutable access to a partition's group (tests, WAIT wiring).
+    pub fn group_mut(&mut self, partition: PartitionId) -> Option<&mut ReplicaGroup> {
+        self.groups.get_mut(&partition)
+    }
+
+    /// Create a replicated partition, placing its replicas on the
+    /// least-loaded nodes (leaders additionally balance across nodes so the
+    /// write path spreads).
+    pub fn create_partition(
+        &mut self,
+        tenant: TenantId,
+        partition: PartitionId,
+    ) -> abase_replication::Result<()> {
+        // Least-loaded placement over *live* nodes by hosted replica count,
+        // ties by id.
+        let mut candidates: Vec<NodeId> = self.live_nodes();
+        assert!(
+            candidates.len() >= self.config.replication_factor,
+            "not enough live nodes to place a {}-replica group",
+            self.config.replication_factor
+        );
+        candidates.sort_by_key(|id| (self.nodes[id].hosted_replica_count(), *id));
+        let mut chosen: Vec<NodeId> = candidates
+            .into_iter()
+            .take(self.config.replication_factor)
+            .collect();
+        // Leader = the chosen node with the fewest leaders.
+        chosen.sort_by_key(|id| (self.nodes[id].hosted_leader_count(), *id));
+        let group = ReplicaGroup::bootstrap(
+            partition,
+            &self.base_dir,
+            &chosen,
+            GroupConfig {
+                write_concern: self.config.write_concern,
+                db: self.config.db,
+            },
+        )?;
+        self.meta.assign_replica_group(
+            tenant,
+            partition,
+            ReplicaSet {
+                leader: chosen[0],
+                followers: chosen[1..].to_vec(),
+            },
+        );
+        for (i, id) in chosen.iter().enumerate() {
+            let role = if i == 0 { Role::Leader } else { Role::Follower };
+            self.nodes
+                .get_mut(id)
+                .expect("placed on known node")
+                .host_replica(partition, role);
+        }
+        self.groups.insert(partition, group);
+        Ok(())
+    }
+
+    /// Write through the partition's leader under the group write concern.
+    pub fn write(
+        &mut self,
+        partition: PartitionId,
+        key: &[u8],
+        value: &[u8],
+        now: SimTime,
+    ) -> abase_replication::Result<Lsn> {
+        self.groups
+            .get_mut(&partition)
+            .ok_or(abase_replication::Error::NoLeader)?
+            .put(key, value, None, now)
+    }
+
+    /// Read from the partition at the requested consistency level.
+    pub fn read(
+        &mut self,
+        partition: PartitionId,
+        key: &[u8],
+        consistency: ReadConsistency,
+        now: SimTime,
+    ) -> abase_replication::Result<abase_lavastore::ReadResult> {
+        self.groups
+            .get_mut(&partition)
+            .ok_or(abase_replication::Error::NoLeader)?
+            .read(key, consistency, now)
+    }
+
+    /// Ship pending log on every group (the per-tick replication pump that
+    /// drains `Async` writes to followers).
+    pub fn tick(&mut self) -> abase_replication::Result<()> {
+        for group in self.groups.values_mut() {
+            group.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Kill a DataNode: fail its replicas, let the meta server plan
+    /// promotions and reconstruction, execute the promotions, and re-seed the
+    /// lost replicas **in parallel** from the planned sources.
+    pub fn kill_node(&mut self, failed: NodeId) -> abase_replication::Result<FailoverOutcome> {
+        self.dead_nodes.insert(failed);
+        // 1. The node's replicas become unreachable.
+        for group in self.groups.values_mut() {
+            if group.members().contains(&failed) {
+                group.fail_replica(failed)?;
+            }
+        }
+        if let Some(node) = self.nodes.get_mut(&failed) {
+            for partition in self.meta.partitions_on_node(failed) {
+                node.drop_replica(partition);
+            }
+        }
+        // 2. The meta server plans from real acked LSNs, re-seeding only
+        //    onto nodes that are still alive.
+        let alive: Vec<NodeId> = self.live_nodes();
+        let groups = &self.groups;
+        let plan = self.meta.plan_node_failure(
+            failed,
+            |partition, node| {
+                groups
+                    .get(&partition)
+                    .and_then(|g| g.acked_lsn(node).ok())
+                    .unwrap_or(0)
+            },
+            &alive,
+        );
+        // 3. Execute promotions (the group elects by the same max-LSN rule).
+        for promotion in &plan.promotions {
+            let group = self
+                .groups
+                .get_mut(&promotion.partition)
+                .expect("planned partition exists");
+            let elected = group.promote()?;
+            debug_assert_eq!(elected, promotion.new_leader, "plan/group disagree");
+            if let Some(node) = self.nodes.get_mut(&elected) {
+                node.host_replica(promotion.partition, Role::Leader);
+            }
+        }
+        // 4. Parallel reconstruction from the planned sources.
+        let mut tasks = Vec::with_capacity(plan.reconstructions.len());
+        for assignment in &plan.reconstructions {
+            let group = &self.groups[&assignment.partition];
+            tasks.push(ReconstructionTask {
+                partition: assignment.partition,
+                source: group.db(assignment.source)?,
+                source_node: assignment.source,
+                dest_dir: abase_replication::group::replica_dir(
+                    &self.base_dir,
+                    assignment.partition,
+                    assignment.dest,
+                ),
+            });
+        }
+        let reconstruction = if tasks.is_empty() {
+            None
+        } else {
+            Some(reconstruct_parallel(tasks, self.config.recovery_bandwidth)?)
+        };
+        // 5. Rebuilt replicas join their groups and start tailing.
+        for assignment in &plan.reconstructions {
+            let dir = abase_replication::group::replica_dir(
+                &self.base_dir,
+                assignment.partition,
+                assignment.dest,
+            );
+            let group = self
+                .groups
+                .get_mut(&assignment.partition)
+                .expect("planned partition exists");
+            group.adopt_replica(failed, assignment.dest, dir)?;
+            if let Some(node) = self.nodes.get_mut(&assignment.dest) {
+                node.host_replica(assignment.partition, Role::Follower);
+            }
+        }
+        Ok(FailoverOutcome {
+            plan,
+            reconstruction,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::node::DataNodeConfig;
     use abase_util::clock::mins;
+    use abase_util::TestDir;
 
     fn spec(id: TenantId, qps: f64) -> TenantSpec {
         TenantSpec {
@@ -467,5 +749,87 @@ mod tests {
         assert_eq!(points[0].minute, 0);
         assert_eq!(points[1].minute, 1);
         assert_eq!(exp.now(), mins(2));
+    }
+
+    fn small_cluster(tag: &str) -> (TestDir, ReplicatedCluster) {
+        let dir = TestDir::new(tag);
+        let cluster = ReplicatedCluster::new(
+            dir.path(),
+            4,
+            ReplicatedClusterConfig {
+                replication_factor: 3,
+                write_concern: WriteConcern::Quorum,
+                db: DbConfig::small_for_tests(),
+                recovery_bandwidth: None,
+            },
+        );
+        (dir, cluster)
+    }
+
+    #[test]
+    fn placement_spreads_replicas_and_leaders() {
+        let (_d, mut cluster) = small_cluster("placement");
+        for p in 0..4u64 {
+            cluster.create_partition(1, p).unwrap();
+        }
+        // 4 partitions × 3 replicas over 4 nodes → 3 replicas per node.
+        for n in 0..4u32 {
+            assert_eq!(
+                cluster.node(n).unwrap().hosted_replica_count(),
+                3,
+                "node {n}"
+            );
+        }
+        // Leaders spread: no node leads more than... 4 leaders over 4 nodes.
+        for n in 0..4u32 {
+            assert!(
+                cluster.node(n).unwrap().hosted_leader_count() <= 2,
+                "node {n}"
+            );
+        }
+        // Meta routing agrees with group leadership.
+        for p in 0..4u64 {
+            assert_eq!(cluster.meta().route(p), cluster.group(p).unwrap().leader());
+        }
+    }
+
+    #[test]
+    fn cluster_failover_preserves_quorum_writes() {
+        let (_d, mut cluster) = small_cluster("failover");
+        for p in 0..3u64 {
+            cluster.create_partition(1, p).unwrap();
+        }
+        let mut lsns = Vec::new();
+        for p in 0..3u64 {
+            for i in 0..20 {
+                let lsn = cluster
+                    .write(p, format!("p{p}-k{i}").as_bytes(), b"v", 0)
+                    .unwrap();
+                lsns.push((p, i, lsn));
+            }
+        }
+        // Kill the node leading partition 0.
+        let victim = cluster.meta().route(0).unwrap();
+        let outcome = cluster.kill_node(victim).unwrap();
+        assert!(!outcome.plan.promotions.is_empty());
+        // Every partition still serves every acked write.
+        for p in 0..3u64 {
+            for i in 0..20 {
+                let key = format!("p{p}-k{i}");
+                let r = cluster
+                    .read(p, key.as_bytes(), ReadConsistency::Leader, 0)
+                    .unwrap();
+                assert!(r.value.is_some(), "acked write lost: {key}");
+            }
+        }
+        // The dead node is out of every routing entry and every set is full
+        // strength again.
+        for p in 0..3u64 {
+            let set = cluster.meta().replica_set(p).unwrap();
+            assert!(!set.contains(victim));
+            assert_eq!(set.members().len(), 3);
+            // And writes keep flowing.
+            cluster.write(p, b"after-failover", b"v", 0).unwrap();
+        }
     }
 }

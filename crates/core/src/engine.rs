@@ -10,6 +10,7 @@ use abase_lavastore::{Db, DbConfig, ReadResult};
 use abase_proto::{Command, RespValue};
 use abase_util::clock::SimTime;
 use bytes::Bytes;
+use std::sync::Arc;
 
 use crate::types::TenantId;
 
@@ -27,22 +28,40 @@ pub struct ExecOutcome {
 }
 
 /// A multi-tenant table engine over one LavaStore instance.
+///
+/// The store is held behind an [`Arc`] so a replication plane can share it:
+/// a replica-group leader executes commands through the engine while the
+/// group ships the same store's WAL to followers, and a follower's engine
+/// serves reads over the store the group keeps in sync.
 #[derive(Debug)]
 pub struct TableEngine {
-    db: Db,
+    db: Arc<Db>,
 }
 
 impl TableEngine {
     /// Open an engine rooted at `dir`.
-    pub fn open(dir: impl AsRef<std::path::Path>, config: DbConfig) -> abase_lavastore::Result<Self> {
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        config: DbConfig,
+    ) -> abase_lavastore::Result<Self> {
         Ok(Self {
-            db: Db::open(dir, config)?,
+            db: Arc::new(Db::open(dir, config)?),
         })
+    }
+
+    /// An engine over an existing (typically replicated) store.
+    pub fn from_db(db: Arc<Db>) -> Self {
+        Self { db }
     }
 
     /// Direct access to the underlying store (flush/compaction control).
     pub fn db(&self) -> &Db {
         &self.db
+    }
+
+    /// A shareable handle to the store, for wiring into a replica group.
+    pub fn shared_db(&self) -> Arc<Db> {
+        Arc::clone(&self.db)
     }
 
     fn string_key(tenant: TenantId, key: &[u8]) -> Vec<u8> {
@@ -78,6 +97,21 @@ impl TableEngine {
                 reply: RespValue::Simple("PONG".into()),
                 io_ops: 0,
                 bytes_returned: 4,
+                from_memtable: true,
+            }),
+            // Replication control commands are answered by the server's
+            // replication handle when one is attached; a bare engine has no
+            // replicas, so WAIT reports zero acks and REPLCONF is accepted.
+            Command::Wait { .. } => Ok(ExecOutcome {
+                reply: RespValue::Integer(0),
+                io_ops: 0,
+                bytes_returned: 8,
+                from_memtable: true,
+            }),
+            Command::ReplConf { .. } => Ok(ExecOutcome {
+                reply: RespValue::ok(),
+                io_ops: 0,
+                bytes_returned: 2,
                 from_memtable: true,
             }),
             Command::Get { key } => {
@@ -138,7 +172,8 @@ impl TableEngine {
                         from_memtable: r.from_memtable,
                     }),
                     Some(value) => {
-                        self.db.put(&sk, &value, Some(now + secs * 1_000_000), now)?;
+                        self.db
+                            .put(&sk, &value, Some(now + secs * 1_000_000), now)?;
                         Ok(ExecOutcome {
                             reply: RespValue::Integer(1),
                             io_ops: r.io_ops,
@@ -229,28 +264,11 @@ impl TableEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    struct TestDir(std::path::PathBuf);
-    impl TestDir {
-        fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "abase-engine-{tag}-{}-{:?}",
-                std::process::id(),
-                std::thread::current().id()
-            ));
-            std::fs::remove_dir_all(&path).ok();
-            Self(path)
-        }
-    }
-    impl Drop for TestDir {
-        fn drop(&mut self) {
-            std::fs::remove_dir_all(&self.0).ok();
-        }
-    }
+    use abase_util::TestDir;
 
     fn engine(tag: &str) -> (TestDir, TableEngine) {
         let dir = TestDir::new(tag);
-        let e = TableEngine::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let e = TableEngine::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         (dir, e)
     }
 
@@ -311,7 +329,14 @@ mod tests {
         let (_d, e) = engine("expire");
         e.execute(1, &set("k", "v", None), 0).unwrap();
         let out = e
-            .execute(1, &Command::Expire { key: "k".into(), secs: 10 }, 0)
+            .execute(
+                1,
+                &Command::Expire {
+                    key: "k".into(),
+                    secs: 10,
+                },
+                0,
+            )
             .unwrap();
         assert_eq!(out.reply, RespValue::Integer(1));
         assert_eq!(
@@ -320,7 +345,14 @@ mod tests {
         );
         // EXPIRE on a missing key returns 0.
         let out = e
-            .execute(1, &Command::Expire { key: "nope".into(), secs: 10 }, 0)
+            .execute(
+                1,
+                &Command::Expire {
+                    key: "nope".into(),
+                    secs: 10,
+                },
+                0,
+            )
             .unwrap();
         assert_eq!(out.reply, RespValue::Integer(0));
     }
@@ -340,7 +372,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.reply, RespValue::Integer(2));
-        let out = e.execute(1, &Command::Exists { key: "a".into() }, 0).unwrap();
+        let out = e
+            .execute(1, &Command::Exists { key: "a".into() }, 0)
+            .unwrap();
         assert_eq!(out.reply, RespValue::Integer(0));
     }
 

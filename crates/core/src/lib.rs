@@ -15,15 +15,19 @@
 //!   SA-LRU cache → I/O cost model, driven in virtual-time ticks.
 //! * [`proxy`] — the tenant proxy plane: AU-LRU proxy cache, proxy quotas with
 //!   meta-server clawback, and limited fan-out hash routing over proxy groups.
-//! * [`meta`] — the meta server: tenant traffic monitoring, routing tables,
-//!   and the §3.3 parallel-recovery model.
+//! * [`meta`] — the meta server: tenant traffic monitoring, replica-set
+//!   routing, failover planning, and the §3.3 parallel-recovery model.
 //! * [`cluster`] — the simulation driver tying workload generators, proxies,
 //!   and nodes together; produces the per-minute series behind Figures 5–7.
+//!   Also hosts [`cluster::ReplicatedCluster`]: real WAL-shipping replica
+//!   groups (via `abase-replication`) placed across DataNodes, with
+//!   MetaServer-driven failover and parallel reconstruction.
 //! * [`oncall`] — the Figure 8b oncall model (reactive vs. predictive scaling).
 //! * [`placement`] — the §6.4 single-tenant vs multi-tenant utilization
 //!   comparison and the §3.3 robustness arithmetic.
 //! * [`server`] — a TCP front end speaking RESP2 over the table engine, so
-//!   any Redis client can talk to a node.
+//!   any Redis client can talk to a node; supports `WAIT`/`REPLCONF` against
+//!   an attached replica group.
 
 #![deny(missing_docs)]
 
@@ -37,9 +41,13 @@ pub mod proxy;
 pub mod server;
 pub mod types;
 
-pub use cluster::{IsolationExperiment, MinutePoint, TenantSpec};
+pub use cluster::{
+    FailoverOutcome, IsolationExperiment, MinutePoint, ReplicatedCluster, ReplicatedClusterConfig,
+    TenantSpec,
+};
 pub use engine::TableEngine;
-pub use server::RespServer;
+pub use meta::{FailoverPlan, MetaServer, RecoveryModel, ReplicaSet};
 pub use node::{DataNodeConfig, DataNodeSim};
 pub use proxy::{ProxyPlane, ProxyPlaneConfig};
+pub use server::{ReplicationControl, RespServer};
 pub use types::{NodeId, PartitionId, ProxyId, TenantId};

@@ -1,20 +1,91 @@
 //! The meta server: centralized management (paper §3.2) and the recovery /
 //! robustness arithmetic of §3.3.
 //!
-//! In the simulator the meta server owns the tenant→partition→node routing
-//! table, monitors per-tenant traffic to drive the asynchronous proxy-quota
-//! clawback, and models parallel replica reconstruction after a node failure.
+//! The meta server owns the tenant→partition→replica-set routing table,
+//! monitors per-tenant traffic to drive the asynchronous proxy-quota
+//! clawback, and — on a DataNode failure — plans leader promotion (the
+//! most-caught-up follower wins) plus **parallel replica reconstruction**:
+//! each lost replica is re-seeded from a different surviving node so the
+//! copies saturate many disks at once, the behavior [`RecoveryModel`] states
+//! in closed form and `abase-replication`'s failover module measures.
 
 use crate::types::{NodeId, PartitionId, TenantId};
 use abase_quota::TenantQuotaMonitor;
 use abase_util::clock::SimTime;
 use std::collections::HashMap;
 
+/// The replicas serving one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSet {
+    /// Node hosting the leader replica.
+    pub leader: NodeId,
+    /// Nodes hosting follower replicas.
+    pub followers: Vec<NodeId>,
+}
+
+impl ReplicaSet {
+    /// Leader followed by followers.
+    pub fn members(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(1 + self.followers.len());
+        out.push(self.leader);
+        out.extend_from_slice(&self.followers);
+        out
+    }
+
+    /// Does `node` host a replica of this set?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.leader == node || self.followers.contains(&node)
+    }
+}
+
+/// One leader promotion in a failover plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Promotion {
+    /// Partition whose leader died.
+    pub partition: PartitionId,
+    /// Surviving follower (most-caught-up by acked LSN) to promote.
+    pub new_leader: NodeId,
+}
+
+/// One replica copy in a failover plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconstructionAssignment {
+    /// Partition whose replica was lost.
+    pub partition: PartitionId,
+    /// Surviving group member to copy from.
+    pub source: NodeId,
+    /// Node that will host the rebuilt replica.
+    pub dest: NodeId,
+}
+
+/// Everything the meta server decided about one node failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPlan {
+    /// The failed node.
+    pub failed: NodeId,
+    /// Leader promotions, one per partition the failed node led.
+    pub promotions: Vec<Promotion>,
+    /// Replica copies, sources spread across surviving nodes.
+    pub reconstructions: Vec<ReconstructionAssignment>,
+}
+
+impl FailoverPlan {
+    /// Distinct source nodes — the reconstruction parallelism degree.
+    pub fn distinct_sources(&self) -> usize {
+        let mut nodes: Vec<NodeId> = self.reconstructions.iter().map(|r| r.source).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
 /// Routing and control state.
 #[derive(Debug)]
 pub struct MetaServer {
-    /// partition → primary node.
+    /// partition → primary (leader) node.
     routing: HashMap<PartitionId, NodeId>,
+    /// partition → full replica set (absent for unreplicated partitions).
+    replica_sets: HashMap<PartitionId, ReplicaSet>,
     /// tenant → its partitions.
     tenant_partitions: HashMap<TenantId, Vec<PartitionId>>,
     /// Traffic monitor backing the proxy boost decision.
@@ -26,6 +97,7 @@ impl MetaServer {
     pub fn new(monitor_window: SimTime) -> Self {
         Self {
             routing: HashMap::new(),
+            replica_sets: HashMap::new(),
             tenant_partitions: HashMap::new(),
             monitor: TenantQuotaMonitor::new(monitor_window),
         }
@@ -34,12 +106,44 @@ impl MetaServer {
     /// Register a partition on a node.
     pub fn assign_partition(&mut self, tenant: TenantId, partition: PartitionId, node: NodeId) {
         self.routing.insert(partition, node);
-        self.tenant_partitions.entry(tenant).or_default().push(partition);
+        self.tenant_partitions
+            .entry(tenant)
+            .or_default()
+            .push(partition);
+    }
+
+    /// Register a replicated partition: writes route to `set.leader`, and the
+    /// full membership is retained for failover planning.
+    pub fn assign_replica_group(
+        &mut self,
+        tenant: TenantId,
+        partition: PartitionId,
+        set: ReplicaSet,
+    ) {
+        self.assign_partition(tenant, partition, set.leader);
+        self.replica_sets.insert(partition, set);
     }
 
     /// Node currently serving `partition`.
     pub fn route(&self, partition: PartitionId) -> Option<NodeId> {
         self.routing.get(&partition).copied()
+    }
+
+    /// Full replica membership of `partition`, when replicated.
+    pub fn replica_set(&self, partition: PartitionId) -> Option<&ReplicaSet> {
+        self.replica_sets.get(&partition)
+    }
+
+    /// Partitions with a replica (leader or follower) on `node`, ascending.
+    pub fn partitions_on_node(&self, node: NodeId) -> Vec<PartitionId> {
+        let mut out: Vec<PartitionId> = self
+            .replica_sets
+            .iter()
+            .filter(|(_, set)| set.contains(node))
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Partitions of `tenant`.
@@ -53,6 +157,88 @@ impl MetaServer {
     /// Move a partition to another node (rescheduling/migration).
     pub fn move_partition(&mut self, partition: PartitionId, to: NodeId) {
         self.routing.insert(partition, to);
+    }
+
+    /// Plan recovery from the failure of `failed` and update the routing
+    /// tables to match the plan (§3.3).
+    ///
+    /// For every affected partition the plan contains a leader promotion when
+    /// the failed node led it — the surviving follower with the highest
+    /// `acked_lsn(partition, node)` wins — and one reconstruction assignment
+    /// re-seeding the lost replica on a spare node drawn from
+    /// `available_nodes`. Copy *sources* rotate across each group's survivors
+    /// and *destinations* balance across the spares, so the recovery I/O
+    /// spreads over as many disks as the cluster can offer (the multi-tenant
+    /// advantage [`RecoveryModel::multi_tenant_max_utilization`] prices).
+    pub fn plan_node_failure(
+        &mut self,
+        failed: NodeId,
+        acked_lsn: impl Fn(PartitionId, NodeId) -> u64,
+        available_nodes: &[NodeId],
+    ) -> FailoverPlan {
+        let mut affected: Vec<PartitionId> = self
+            .replica_sets
+            .iter()
+            .filter(|(_, set)| set.contains(failed))
+            .map(|(&p, _)| p)
+            .collect();
+        affected.sort_unstable();
+        let mut promotions = Vec::new();
+        let mut reconstructions = Vec::new();
+        let mut source_load: HashMap<NodeId, usize> = HashMap::new();
+        let mut dest_load: HashMap<NodeId, usize> = HashMap::new();
+        for &partition in &affected {
+            let set = self.replica_sets.get_mut(&partition).expect("affected");
+            // 1. Promote if the dead node led this partition.
+            if set.leader == failed {
+                let winner = set
+                    .followers
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != failed)
+                    .max_by_key(|&n| (acked_lsn(partition, n), std::cmp::Reverse(n)));
+                if let Some(new_leader) = winner {
+                    set.followers.retain(|&n| n != new_leader);
+                    set.leader = new_leader;
+                    promotions.push(Promotion {
+                        partition,
+                        new_leader,
+                    });
+                    self.routing.insert(partition, new_leader);
+                }
+            }
+            // The dead member leaves the set (its slot is re-seeded below).
+            set.followers.retain(|&n| n != failed);
+            // 2. Re-seed the lost replica: source rotates across survivors,
+            //    destination balances across spare nodes outside the group.
+            let survivors: Vec<NodeId> =
+                set.members().into_iter().filter(|&n| n != failed).collect();
+            let Some(&source) = survivors
+                .iter()
+                .min_by_key(|&&n| (source_load.get(&n).copied().unwrap_or(0), n))
+            else {
+                continue; // no survivor: data loss, nothing to plan
+            };
+            let dest = available_nodes
+                .iter()
+                .copied()
+                .filter(|&n| n != failed && !set.contains(n))
+                .min_by_key(|&n| (dest_load.get(&n).copied().unwrap_or(0), n));
+            let Some(dest) = dest else { continue };
+            *source_load.entry(source).or_default() += 1;
+            *dest_load.entry(dest).or_default() += 1;
+            set.followers.push(dest);
+            reconstructions.push(ReconstructionAssignment {
+                partition,
+                source,
+                dest,
+            });
+        }
+        FailoverPlan {
+            failed,
+            promotions,
+            reconstructions,
+        }
     }
 }
 
@@ -115,6 +301,113 @@ mod tests {
         assert!(m.partitions_of(2).is_empty());
         m.move_partition(100, 9);
         assert_eq!(m.route(100), Some(9));
+    }
+
+    #[test]
+    fn replica_group_routing() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            100,
+            ReplicaSet {
+                leader: 5,
+                followers: vec![6, 7],
+            },
+        );
+        assert_eq!(m.route(100), Some(5));
+        assert_eq!(m.replica_set(100).unwrap().members(), vec![5, 6, 7]);
+        assert_eq!(m.partitions_on_node(6), vec![100]);
+        assert!(m.partitions_on_node(9).is_empty());
+    }
+
+    #[test]
+    fn failover_promotes_most_caught_up_and_spreads_sources() {
+        let mut m = MetaServer::new(secs(1));
+        // Node 0 leads partitions 1..=3; each group spans three of nodes 0-3.
+        m.assign_replica_group(
+            1,
+            1,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![1, 2],
+            },
+        );
+        m.assign_replica_group(
+            1,
+            2,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![2, 3],
+            },
+        );
+        m.assign_replica_group(
+            1,
+            3,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![3, 1],
+            },
+        );
+        // Follower LSNs: per partition, the higher node id is further ahead.
+        let acked = |partition: u64, node: u32| partition * 100 + u64::from(node);
+        let plan = m.plan_node_failure(0, acked, &[1, 2, 3, 4]);
+        assert_eq!(plan.failed, 0);
+        assert_eq!(plan.promotions.len(), 3);
+        // Most-caught-up follower (highest acked LSN) wins each promotion.
+        assert_eq!(
+            plan.promotions[0],
+            Promotion {
+                partition: 1,
+                new_leader: 2
+            }
+        );
+        assert_eq!(
+            plan.promotions[1],
+            Promotion {
+                partition: 2,
+                new_leader: 3
+            }
+        );
+        assert_eq!(
+            plan.promotions[2],
+            Promotion {
+                partition: 3,
+                new_leader: 3
+            }
+        );
+        // Every lost replica is re-seeded, from more than one source disk.
+        assert_eq!(plan.reconstructions.len(), 3);
+        assert!(
+            plan.distinct_sources() >= 2,
+            "sources must spread: {plan:?}"
+        );
+        // Routing follows the promotions, and the dead node left every set.
+        assert_eq!(m.route(1), Some(2));
+        assert_eq!(m.route(2), Some(3));
+        for p in 1..=3 {
+            let set = m.replica_set(p).unwrap();
+            assert!(!set.contains(0), "node 0 still in set of {p}: {set:?}");
+            assert_eq!(set.members().len(), 3, "set of {p} not refilled");
+        }
+    }
+
+    #[test]
+    fn failover_with_no_spare_still_promotes() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            9,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![1, 2],
+            },
+        );
+        let plan = m.plan_node_failure(0, |_, n| u64::from(n), &[1, 2]);
+        assert_eq!(plan.promotions.len(), 1);
+        assert_eq!(plan.promotions[0].new_leader, 2);
+        // No node outside the group: nothing to re-seed onto.
+        assert!(plan.reconstructions.is_empty());
+        assert_eq!(m.replica_set(9).unwrap().members().len(), 2);
     }
 
     #[test]

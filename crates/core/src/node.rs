@@ -20,6 +20,7 @@ use crate::types::{Disposition, NodeId, PartitionId, ServedFrom, SimRequest, Ten
 use abase_cache::SaLruCache;
 use abase_quota::ru::ReadOutcome;
 use abase_quota::{PartitionQuota, QuotaDecision, RuEstimator};
+use abase_replication::Role;
 use abase_util::clock::SimTime;
 use abase_wfq::{NodeScheduler, NodeSchedulerConfig, WfqItem};
 use std::collections::HashMap;
@@ -96,6 +97,9 @@ pub struct DataNodeSim {
     scheduler: NodeScheduler<SimRequest>,
     cache: SaLruCache<u64, usize>,
     partitions: HashMap<PartitionId, PartitionState>,
+    /// Replicas this node hosts (partition → role), maintained by the
+    /// replicated-cluster placement so the §3.3 failure math has real counts.
+    hosted_replicas: HashMap<PartitionId, Role>,
     /// RU owed to rejection processing, debited from the next tick's budget.
     rejection_overhead_ru: f64,
     stats: HashMap<TenantId, TenantTickStats>,
@@ -112,13 +116,50 @@ impl DataNodeSim {
             scheduler,
             cache,
             partitions: HashMap::new(),
+            hosted_replicas: HashMap::new(),
             rejection_overhead_ru: 0.0,
             stats: HashMap::new(),
         }
     }
 
+    /// Record that this node hosts a replica of `partition` in `role`
+    /// (placement bookkeeping for the replication plane).
+    pub fn host_replica(&mut self, partition: PartitionId, role: Role) {
+        self.hosted_replicas.insert(partition, role);
+    }
+
+    /// Remove the hosted-replica record for `partition`.
+    pub fn drop_replica(&mut self, partition: PartitionId) {
+        self.hosted_replicas.remove(&partition);
+    }
+
+    /// This node's role for `partition`, if it hosts a replica.
+    pub fn replica_role(&self, partition: PartitionId) -> Option<Role> {
+        self.hosted_replicas.get(&partition).copied()
+    }
+
+    /// Number of replicas hosted (leaders + followers) — the placement load
+    /// the meta server balances.
+    pub fn hosted_replica_count(&self) -> usize {
+        self.hosted_replicas.len()
+    }
+
+    /// Number of leader replicas hosted (leaders carry the write path).
+    pub fn hosted_leader_count(&self) -> usize {
+        self.hosted_replicas
+            .values()
+            .filter(|&&r| r == Role::Leader)
+            .count()
+    }
+
     /// Host a partition with the given RU/s quota.
-    pub fn add_partition(&mut self, partition: PartitionId, tenant: TenantId, quota_ru: f64, now: SimTime) {
+    pub fn add_partition(
+        &mut self,
+        partition: PartitionId,
+        tenant: TenantId,
+        quota_ru: f64,
+        now: SimTime,
+    ) {
         self.partitions.insert(
             partition,
             PartitionState {
@@ -249,9 +290,15 @@ impl DataNodeSim {
                 self.cache.insert(req.key, req.value_bytes, req.value_bytes);
                 done.push((req, ServedFrom::NodeCache, item.cost));
             } else if self.cache.get(&req.key).is_some() {
-                let part = self.partitions.get_mut(&req.partition).expect("partition exists");
-                part.ru.record_read(req.value_bytes, ReadOutcome::NodeCacheHit);
-                let charged = part.ru.charge_read(req.value_bytes, ReadOutcome::NodeCacheHit);
+                let part = self
+                    .partitions
+                    .get_mut(&req.partition)
+                    .expect("partition exists");
+                part.ru
+                    .record_read(req.value_bytes, ReadOutcome::NodeCacheHit);
+                let charged = part
+                    .ru
+                    .charge_read(req.value_bytes, ReadOutcome::NodeCacheHit);
                 done.push((req, ServedFrom::NodeCache, charged));
             } else {
                 // Miss: descend to the I/O layer (Rule 1: IOPS cost).
@@ -270,7 +317,10 @@ impl DataNodeSim {
         }
         for (_class, item) in self.scheduler.drain_io_tick() {
             let req = item.payload;
-            let part = self.partitions.get_mut(&req.partition).expect("partition exists");
+            let part = self
+                .partitions
+                .get_mut(&req.partition)
+                .expect("partition exists");
             part.ru.record_read(req.value_bytes, ReadOutcome::Miss);
             let charged = part.ru.charge_read(req.value_bytes, ReadOutcome::Miss);
             self.cache.insert(req.key, req.value_bytes, req.value_bytes);
@@ -328,7 +378,13 @@ mod tests {
     use super::*;
     use abase_util::clock::ms;
 
-    fn request(tenant: TenantId, partition: PartitionId, key: u64, is_write: bool, t: SimTime) -> SimRequest {
+    fn request(
+        tenant: TenantId,
+        partition: PartitionId,
+        key: u64,
+        is_write: bool,
+        t: SimTime,
+    ) -> SimRequest {
         SimRequest {
             tenant,
             partition,
@@ -412,11 +468,14 @@ mod tests {
 
     #[test]
     fn rejections_burn_next_tick_budget() {
-        let mut n = DataNodeSim::new(1, DataNodeConfig {
-            cpu_ru_per_sec: 1000.0,
-            rejection_cost_ru: 1.0,
-            ..Default::default()
-        });
+        let mut n = DataNodeSim::new(
+            1,
+            DataNodeConfig {
+                cpu_ru_per_sec: 1000.0,
+                rejection_cost_ru: 1.0,
+                ..Default::default()
+            },
+        );
         n.add_partition(10, 1, 100.0, 0);
         n.add_partition(20, 2, 100.0, 0);
         // Tenant 1 floods: ~300 admitted (3× quota burst) then rejections.
@@ -453,10 +512,13 @@ mod tests {
 
     #[test]
     fn queue_cap_bounds_memory() {
-        let mut n = DataNodeSim::new(1, DataNodeConfig {
-            max_queue_per_tenant: 1_000,
-            ..Default::default()
-        });
+        let mut n = DataNodeSim::new(
+            1,
+            DataNodeConfig {
+                max_queue_per_tenant: 1_000,
+                ..Default::default()
+            },
+        );
         n.add_partition(10, 1, 1e9, 0); // effectively no quota
         let mut rejected = 0;
         for i in 0..10_000 {
@@ -470,10 +532,13 @@ mod tests {
 
     #[test]
     fn fair_sharing_between_tenants_under_load() {
-        let mut n = DataNodeSim::new(1, DataNodeConfig {
-            cpu_ru_per_sec: 1_000.0,
-            ..Default::default()
-        });
+        let mut n = DataNodeSim::new(
+            1,
+            DataNodeConfig {
+                cpu_ru_per_sec: 1_000.0,
+                ..Default::default()
+            },
+        );
         n.add_partition(10, 1, 500.0, 0);
         n.add_partition(20, 2, 500.0, 0);
         // Equal quotas, both flood within their 3× burst: 1500 admitted each.

@@ -7,7 +7,7 @@
 //! mode the Algorithm-1 autoscaler raises quotas ahead of the forecast peak,
 //! so only forecast misses (sudden unforecastable jumps) produce tickets.
 
-use abase_scheduler::{Autoscaler, AutoscaleConfig, ScalingDecision};
+use abase_scheduler::{AutoscaleConfig, Autoscaler, ScalingDecision};
 use abase_util::clock::days;
 use abase_util::TimeSeries;
 use abase_workload::series::HOUR;
@@ -115,14 +115,8 @@ pub fn run_oncall_study(config: &OncallStudyConfig, mode: ScalingMode) -> Oncall
                 // The autoscaler runs weekly on the trailing history.
                 let series = TimeSeries::new(0, HOUR, history.clone());
                 let now = days(week as u64 * 7);
-                let (decision, _) = autoscaler.forecast_and_decide(
-                    tenant as u32,
-                    now,
-                    &series,
-                    None,
-                    quota,
-                    4,
-                );
+                let (decision, _) =
+                    autoscaler.forecast_and_decide(tenant as u32, now, &series, None, quota, 4);
                 match decision {
                     ScalingDecision::ScaleUp {
                         new_tenant_quota, ..

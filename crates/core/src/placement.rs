@@ -64,8 +64,7 @@ fn demands(tenant: &abase_workload::Tenant) -> (f64, f64, f64) {
     let cpu = tenant.ru;
     // Memory demand follows the cache working set: read-heavy, high-hit
     // tenants keep more resident.
-    let memory = 0.25 * tenant.ru * (0.5 + tenant.cache_hit_ratio)
-        + 0.05 * tenant.storage;
+    let memory = 0.25 * tenant.ru * (0.5 + tenant.cache_hit_ratio) + 0.05 * tenant.storage;
     let disk = tenant.storage;
     (cpu, memory, disk)
 }
@@ -176,8 +175,18 @@ mod tests {
         let machine = MachineSpec::default();
         let single = single_tenant_utilization(&population, machine);
         let multi = multi_tenant_utilization(&population, machine, 0.2, 1.7);
-        assert!(multi.cpu > single.cpu, "cpu {} vs {}", multi.cpu, single.cpu);
-        assert!(multi.disk > single.disk, "disk {} vs {}", multi.disk, single.disk);
+        assert!(
+            multi.cpu > single.cpu,
+            "cpu {} vs {}",
+            multi.cpu,
+            single.cpu
+        );
+        assert!(
+            multi.disk > single.disk,
+            "disk {} vs {}",
+            multi.disk,
+            single.disk
+        );
         assert!(multi.memory > single.memory);
         assert!(multi.machines < single.machines);
     }

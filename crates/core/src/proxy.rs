@@ -254,7 +254,10 @@ impl ProxyPlane {
     /// Per-proxy lookup counts — the hot-key pressure distribution the
     /// fan-out parameter trades against hit ratio.
     pub fn per_proxy_lookups(&self) -> Vec<u64> {
-        self.proxies.iter().map(|p| p.cache.stats().lookups()).collect()
+        self.proxies
+            .iter()
+            .map(|p| p.cache.stats().lookups())
+            .collect()
     }
 }
 
@@ -318,7 +321,10 @@ mod tests {
         if let ProxyDecision::Forward { proxy } = p.submit(key, false, 0) {
             p.on_read_complete(proxy, key, 512, false, 0);
         }
-        assert!(matches!(p.submit(key, true, secs(1)), ProxyDecision::Forward { .. }));
+        assert!(matches!(
+            p.submit(key, true, secs(1)),
+            ProxyDecision::Forward { .. }
+        ));
         // The cached copy is gone.
         assert!(matches!(
             p.submit(key, false, secs(2)),
@@ -356,7 +362,10 @@ mod tests {
         p.set_quota_enabled(false);
         p.set_cache_enabled(false);
         for i in 0..10_000u64 {
-            assert!(matches!(p.submit(i, false, 0), ProxyDecision::Forward { .. }));
+            assert!(matches!(
+                p.submit(i, false, 0),
+                ProxyDecision::Forward { .. }
+            ));
         }
     }
 

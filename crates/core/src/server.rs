@@ -6,13 +6,64 @@
 //! (tenant 0 until authenticated). One OS thread per connection — connection
 //! counts in the experiments are small, and the engine itself is internally
 //! synchronized.
+//!
+//! When the node's engine fronts a replica-group leader, attach the group via
+//! [`RespServer::with_replication`]: every RESP write is committed under the
+//! group's write concern before `+OK` reaches the client (an unsatisfiable
+//! concern turns the reply into an error), and clients wanting an explicit
+//! fence issue Redis-style `WAIT numreplicas timeout-ms` — the server blocks
+//! until that many followers acked the connection's latest LSN. `REPLCONF`
+//! handshake chatter is accepted for client compatibility.
 
 use crate::engine::TableEngine;
 use abase_proto::{Command, RespValue};
+use abase_replication::ReplicaGroup;
+use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// What `WAIT` needs from a replication plane. Implemented for a locked
+/// [`ReplicaGroup`]; custom planes (tests, future geo-replication) can
+/// implement it too.
+pub trait ReplicationControl: Send + Sync {
+    /// The leader's current LSN (what a `WAIT` fences on), or `None` when
+    /// the group has no live leader — the caller must surface that rather
+    /// than fence on a made-up LSN.
+    fn last_lsn(&self) -> Option<u64>;
+    /// Ship the log until `numreplicas` followers ack `lsn` or `timeout`
+    /// passes; returns how many followers have acked.
+    fn wait_for(&self, lsn: u64, numreplicas: usize, timeout: Duration) -> Result<usize, String>;
+    /// Enforce the group's write concern for everything the leader has
+    /// written so far (called after each RESP write, before the client sees
+    /// its reply). Returns an error string when the concern cannot be met.
+    fn commit_written(&self) -> Result<(), String>;
+}
+
+impl ReplicationControl for Mutex<ReplicaGroup> {
+    fn last_lsn(&self) -> Option<u64> {
+        self.lock().leader_db().ok().map(|db| db.last_seq())
+    }
+
+    fn wait_for(&self, lsn: u64, numreplicas: usize, _timeout: Duration) -> Result<usize, String> {
+        // In-process shipping completes synchronously, so the timeout is not
+        // consulted; once followers sit across a real network this must
+        // bound the pump (a gap-triggered full resync can be long).
+        self.lock()
+            .wait(lsn, numreplicas)
+            .map_err(|e| e.to_string())
+    }
+
+    fn commit_written(&self) -> Result<(), String> {
+        // One lock acquisition covers both reading the fence LSN and
+        // committing it, so a concurrent writer cannot slide the fence.
+        let mut group = self.lock();
+        let lsn = group.leader_db().map_err(|e| e.to_string())?.last_seq();
+        group.commit(lsn).map(|_| ()).map_err(|e| e.to_string())
+    }
+}
 
 /// A running RESP server.
 pub struct RespServer {
@@ -22,6 +73,8 @@ pub struct RespServer {
     /// Virtual time source: servers outside the simulator tick this from wall
     /// time; tests drive it manually.
     clock_micros: Arc<AtomicU64>,
+    /// Replication plane behind `WAIT`, when this node leads a replica group.
+    replication: Option<Arc<dyn ReplicationControl>>,
 }
 
 impl RespServer {
@@ -33,7 +86,14 @@ impl RespServer {
             listener,
             shutdown: Arc::new(AtomicBool::new(false)),
             clock_micros: Arc::new(AtomicU64::new(0)),
+            replication: None,
         })
+    }
+
+    /// Attach the replication plane serving `WAIT`.
+    pub fn with_replication(mut self, replication: Arc<dyn ReplicationControl>) -> Self {
+        self.replication = Some(replication);
+        self
     }
 
     /// The bound address (useful with port 0).
@@ -63,8 +123,9 @@ impl RespServer {
             };
             let engine = Arc::clone(&self.engine);
             let clock = Arc::clone(&self.clock_micros);
+            let replication = self.replication.clone();
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, engine, clock);
+                let _ = serve_connection(stream, engine, clock, replication);
             });
         }
         Ok(())
@@ -77,6 +138,7 @@ fn serve_connection(
     mut stream: TcpStream,
     engine: Arc<TableEngine>,
     clock: Arc<AtomicU64>,
+    replication: Option<Arc<dyn ReplicationControl>>,
 ) -> std::io::Result<()> {
     let mut buffer: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
@@ -100,7 +162,7 @@ fn serve_connection(
             };
             let Some((value, used)) = parsed else { break };
             buffer.drain(..used);
-            let reply = dispatch(&value, &engine, &clock, &mut tenant);
+            let reply = dispatch(&value, &engine, &clock, &mut tenant, replication.as_deref());
             stream.write_all(&reply.to_bytes())?;
         }
     }
@@ -111,6 +173,7 @@ fn dispatch(
     engine: &TableEngine,
     clock: &AtomicU64,
     tenant: &mut u32,
+    replication: Option<&dyn ReplicationControl>,
 ) -> RespValue {
     // AUTH is handled at the connection layer (it selects the tenant).
     if let RespValue::Array(Some(items)) = value {
@@ -134,9 +197,44 @@ fn dispatch(
         Ok(c) => c,
         Err(e) => return RespValue::Error(format!("ERR {e}")),
     };
+    // WAIT is answered by the replication plane when one is attached; the
+    // engine's fallback (0 replicas acked) covers unreplicated nodes.
+    if let (
+        Command::Wait {
+            numreplicas,
+            timeout_ms,
+        },
+        Some(repl),
+    ) = (&command, replication)
+    {
+        // Fencing on a fabricated LSN (e.g. 0 with no live leader) would let
+        // WAIT report replicas as acked when nothing replicated.
+        let Some(lsn) = repl.last_lsn() else {
+            return RespValue::Error("ERR replication: no live leader".into());
+        };
+        return match repl.wait_for(
+            lsn,
+            *numreplicas as usize,
+            Duration::from_millis(*timeout_ms),
+        ) {
+            Ok(acked) => RespValue::Integer(acked as i64),
+            Err(e) => RespValue::Error(format!("ERR replication: {e}")),
+        };
+    }
     let now = clock.load(Ordering::Relaxed);
     match engine.execute(*tenant, &command, now) {
-        Ok(outcome) => outcome.reply,
+        Ok(outcome) => {
+            // Writes are acknowledged only once the replica group's write
+            // concern holds; an unsatisfiable concern is the client's error.
+            if command.is_write() {
+                if let Some(repl) = replication {
+                    if let Err(e) = repl.commit_written() {
+                        return RespValue::Error(format!("ERR replication: {e}"));
+                    }
+                }
+            }
+            outcome.reply
+        }
         Err(e) => RespValue::Error(format!("ERR storage: {e}")),
     }
 }
@@ -145,28 +243,11 @@ fn dispatch(
 mod tests {
     use super::*;
     use abase_lavastore::DbConfig;
-
-    struct TestDir(std::path::PathBuf);
-    impl TestDir {
-        fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "abase-server-{tag}-{}-{:?}",
-                std::process::id(),
-                std::thread::current().id()
-            ));
-            std::fs::remove_dir_all(&path).ok();
-            Self(path)
-        }
-    }
-    impl Drop for TestDir {
-        fn drop(&mut self) {
-            std::fs::remove_dir_all(&self.0).ok();
-        }
-    }
+    use abase_util::TestDir;
 
     fn start_server(tag: &str) -> (TestDir, std::net::SocketAddr, Arc<AtomicU64>) {
         let dir = TestDir::new(tag);
-        let engine = Arc::new(TableEngine::open(&dir.0, DbConfig::small_for_tests()).unwrap());
+        let engine = Arc::new(TableEngine::open(dir.path(), DbConfig::small_for_tests()).unwrap());
         let server = RespServer::bind(engine, "127.0.0.1:0").unwrap();
         let addr = server.local_addr().unwrap();
         let clock = server.clock();
@@ -192,7 +273,10 @@ mod tests {
     fn tcp_set_get_roundtrip() {
         let (_dir, addr, _clock) = start_server("roundtrip");
         let mut client = TcpStream::connect(addr).unwrap();
-        let reply = roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n");
+        let reply = roundtrip(
+            &mut client,
+            b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n",
+        );
         assert_eq!(reply, RespValue::ok());
         let reply = roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
         assert_eq!(reply, RespValue::bulk("hello"));
@@ -281,5 +365,106 @@ mod tests {
         let mut client = TcpStream::connect(addr).unwrap();
         let reply = roundtrip(&mut client, b"*1\r\n$7\r\nNOTACMD\r\n");
         assert!(matches!(reply, RespValue::Error(_)));
+    }
+
+    #[test]
+    fn wait_without_replication_reports_zero() {
+        let (_dir, addr, _clock) = start_server("wait0");
+        let mut client = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n1\r\n$3\r\n100\r\n");
+        assert_eq!(reply, RespValue::Integer(0));
+        // REPLCONF handshake is accepted on any node.
+        let reply = roundtrip(
+            &mut client,
+            b"*3\r\n$8\r\nREPLCONF\r\n$14\r\nlistening-port\r\n$4\r\n6380\r\n",
+        );
+        assert_eq!(reply, RespValue::ok());
+    }
+
+    #[test]
+    fn resp_writes_enforce_group_write_concern() {
+        use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
+        let dir = TestDir::new("resp-quorum");
+        let group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1, 2, 3],
+            GroupConfig {
+                write_concern: WriteConcern::Quorum,
+                db: DbConfig::small_for_tests(),
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
+        let group = Arc::new(Mutex::new(group));
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut client = TcpStream::connect(addr).unwrap();
+        // +OK implies the write already sits on a majority.
+        let reply = roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        assert_eq!(reply, RespValue::ok());
+        {
+            let g = group.lock();
+            let lsn = g.leader_db().unwrap().last_seq();
+            assert!(g.acked_count(lsn) >= 2, "quorum not enforced before reply");
+        }
+        // With both followers down, quorum writes must fail loudly.
+        {
+            let mut g = group.lock();
+            g.fail_replica(2).unwrap();
+            g.fail_replica(3).unwrap();
+        }
+        let reply = roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nw\r\n");
+        match reply {
+            RespValue::Error(e) => assert!(e.contains("replication"), "{e}"),
+            other => panic!("expected replication error, got {other:?}"),
+        }
+        // Reads still serve.
+        let reply = roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+        assert!(matches!(reply, RespValue::Bulk(Some(_))));
+        // With the leader gone too, WAIT must refuse rather than fence on a
+        // fabricated LSN and report phantom acks.
+        group.lock().fail_replica(1).unwrap();
+        let reply = roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n1\r\n$2\r\n50\r\n");
+        match reply {
+            RespValue::Error(e) => assert!(e.contains("no live leader"), "{e}"),
+            other => panic!("expected no-leader error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_blocks_on_replica_acks() {
+        use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
+        let dir = TestDir::new("wait-repl");
+        let group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1, 2, 3],
+            GroupConfig {
+                // Async at write time: WAIT is what forces shipping.
+                write_concern: WriteConcern::Async,
+                db: DbConfig::small_for_tests(),
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
+        let group = Arc::new(Mutex::new(group));
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        // Before WAIT nothing shipped; WAIT 2 forces both followers to ack.
+        let reply = roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$3\r\n100\r\n");
+        assert_eq!(reply, RespValue::Integer(2));
+        // The write is now durable on every follower.
+        let g = group.lock();
+        let lsn = g.leader_db().unwrap().last_seq();
+        assert_eq!(g.acked_count(lsn), 3);
     }
 }

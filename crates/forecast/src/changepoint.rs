@@ -14,7 +14,13 @@
 pub fn detect_changepoints(values: &[f64], penalty: f64, min_segment: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let global_var = variance(values).max(1e-12);
-    segment(values, 0, penalty * global_var, min_segment.max(2), &mut out);
+    segment(
+        values,
+        0,
+        penalty * global_var,
+        min_segment.max(2),
+        &mut out,
+    );
     out.sort_unstable();
     out
 }

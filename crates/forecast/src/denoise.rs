@@ -61,7 +61,11 @@ fn local_median(values: &[f64], i: usize) -> f64 {
 /// `quota` spike simultaneously are metric noise; the usage point is replaced
 /// with its local median. Returns the cleaned usage series and the number of
 /// points repaired.
-pub fn co_spike_filter(usage: &TimeSeries, quota: &TimeSeries, threshold: f64) -> (TimeSeries, usize) {
+pub fn co_spike_filter(
+    usage: &TimeSeries,
+    quota: &TimeSeries,
+    threshold: f64,
+) -> (TimeSeries, usize) {
     assert_eq!(usage.len(), quota.len(), "usage/quota must align");
     let usage_mask = spike_mask(usage.values(), threshold);
     let quota_mask = spike_mask(quota.values(), threshold);
@@ -105,10 +109,7 @@ pub fn sporadic_peak_filter(
         let day_i = i / samples_per_day;
         let lo = i.saturating_sub(lookback);
         let has_sibling = (lo..values.len().min(i + lookback)).any(|j| {
-            j != i
-                && j / samples_per_day != day_i
-                && mask[j]
-                && values[j] >= values[i] * similarity
+            j != i && j / samples_per_day != day_i && mask[j] && values[j] >= values[i] * similarity
         });
         if !has_sibling {
             cleaned[i] = local_median(values, i);
@@ -171,10 +172,7 @@ mod tests {
         }
         let (cleaned, removed) = sporadic_peak_filter(&hourly(v), 3.0, 0.6, 10);
         assert_eq!(removed, 0);
-        assert_eq!(
-            cleaned.values().iter().filter(|&&x| x > 300.0).count(),
-            10
-        );
+        assert_eq!(cleaned.values().iter().filter(|&&x| x > 300.0).count(), 10);
     }
 
     #[test]

@@ -147,7 +147,9 @@ impl EnsembleForecaster {
         let prophet = ProphetModel::fit(&values, period, cfg.prophet);
         let histavg = HistoricalAverage::fit(&values, period, cfg.histavg_decay);
         // Backtest on the trailing 25% of the regime.
-        let holdout = (values.len() / 4).max(1).min(values.len().saturating_sub(4));
+        let holdout = (values.len() / 4)
+            .max(1)
+            .min(values.len().saturating_sub(4));
         let (fit_part, test_part) = values.split_at(values.len() - holdout);
         let (forecast, model) = self.blend(
             fit_part,
@@ -167,9 +169,7 @@ impl EnsembleForecaster {
         let forecast_max = forecast.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let (final_values, final_model) = if forecast_max < cfg.burst_guard_ratio * recent_max {
             // Replay the most recent period tiled across the horizon.
-            let replay: Vec<f64> = (0..horizon)
-                .map(|h| recent[h % recent.len()])
-                .collect();
+            let replay: Vec<f64> = (0..horizon).map(|h| recent[h % recent.len()]).collect();
             (replay, ModelChoice::RecentHistoryFallback)
         } else {
             (forecast, model)
@@ -202,8 +202,8 @@ impl EnsembleForecaster {
     ) -> (Vec<f64>, ModelChoice) {
         let cfg = &self.config;
         // Backtest each model trained on fit_part.
-        let prophet_bt = ProphetModel::fit(fit_part, period, cfg.prophet)
-            .map(|m| m.forecast(test_part.len()));
+        let prophet_bt =
+            ProphetModel::fit(fit_part, period, cfg.prophet).map(|m| m.forecast(test_part.len()));
         let histavg_bt =
             HistoricalAverage::fit(fit_part, period, cfg.histavg_decay).forecast(test_part.len());
         let prophet_err = prophet_bt

@@ -45,7 +45,8 @@ impl HistoricalAverage {
                         idx -= p as isize;
                     }
                     let mut weight = 1.0;
-                    let mut i = (n as isize - 1) - ((n as isize - 1 - phase as isize).rem_euclid(p as isize));
+                    let mut i = (n as isize - 1)
+                        - ((n as isize - 1 - phase as isize).rem_euclid(p as isize));
                     // `i` is the newest index congruent to `phase` (mod p).
                     while i >= 0 {
                         value_sum += values[i as usize] * weight;
@@ -124,7 +125,11 @@ mod tests {
         let flat = HistoricalAverage::fit(&values, Some(4), 1.0);
         let recent = HistoricalAverage::fit(&values, Some(4), 0.2);
         assert!((flat.forecast(1)[0] - 50.0).abs() < 1e-9);
-        assert!(recent.forecast(1)[0] > 70.0, "decay too weak: {}", recent.forecast(1)[0]);
+        assert!(
+            recent.forecast(1)[0] > 70.0,
+            "decay too weak: {}",
+            recent.forecast(1)[0]
+        );
     }
 
     #[test]

@@ -198,7 +198,11 @@ mod tests {
     fn period_needs_two_cycles() {
         let values: Vec<f64> = (0..30).map(|t| t as f64).collect();
         let m = ProphetModel::fit(&values, Some(24), ProphetConfig::default()).unwrap();
-        assert_eq!(m.period(), None, "one cycle of evidence must not fit seasonality");
+        assert_eq!(
+            m.period(),
+            None,
+            "one cycle of evidence must not fit seasonality"
+        );
     }
 
     #[test]

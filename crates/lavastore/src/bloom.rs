@@ -42,9 +42,8 @@ impl BloomFilter {
         let h1 = fnv1a(key, 0);
         let h2 = fnv1a(key, 0x9E37_79B9_7F4A_7C15) | 1; // odd stride
         let n_bits = self.bits.len() * 8;
-        (0..self.k).map(move |i| {
-            (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % n_bits as u64) as usize
-        })
+        (0..self.k)
+            .map(move |i| (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % n_bits as u64) as usize)
     }
 
     /// Insert a key.

@@ -34,6 +34,11 @@ pub struct DbConfig {
     pub bloom_bits_per_key: usize,
     /// fsync the WAL on every append (durability vs. throughput).
     pub sync_wal: bool,
+    /// Rotated WAL segments to retain as a replication backlog. Segments
+    /// below the manifest's `wal_floor` are fully flushed into SSTs and never
+    /// replayed; keeping a few lets binlog tail readers (followers) finish
+    /// reading a closed segment instead of forcing a full resync.
+    pub wal_retention_segments: usize,
     /// Compaction policy knobs.
     pub compaction: CompactionConfig,
 }
@@ -46,6 +51,7 @@ impl Default for DbConfig {
             target_sst_bytes: 8 << 20,
             bloom_bits_per_key: 10,
             sync_wal: false,
+            wal_retention_segments: 2,
             compaction: CompactionConfig::default(),
         }
     }
@@ -60,6 +66,7 @@ impl DbConfig {
             target_sst_bytes: 8 << 10,
             bloom_bits_per_key: 10,
             sync_wal: false,
+            wal_retention_segments: 2,
             compaction: CompactionConfig {
                 l0_trigger: 3,
                 level_base_bytes: 16 << 10,
@@ -120,8 +127,21 @@ struct Inner {
     version: Version,
     readers: HashMap<u64, Arc<SstReader>>,
     wal: Wal,
+    wal_id: u64,
     wal_path: PathBuf,
-    obsolete_wals: Vec<PathBuf>,
+}
+
+/// Where a [`Db::checkpoint`] snapshot ends in the source's log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Highest sequence number contained in the snapshot.
+    pub last_seq: u64,
+    /// WAL segment that was current when the snapshot was taken.
+    pub wal_segment: u64,
+    /// Byte offset within that segment covered by the snapshot.
+    pub wal_offset: u64,
+    /// Total bytes copied (SSTs + WALs).
+    pub bytes_copied: u64,
 }
 
 /// A LavaStore database instance rooted at a directory.
@@ -143,7 +163,7 @@ fn sst_path(dir: &Path, id: u64) -> PathBuf {
 }
 
 fn wal_path(dir: &Path, id: u64) -> PathBuf {
-    dir.join(format!("wal-{id:010}.log"))
+    Wal::segment_path(dir, id)
 }
 
 impl Db {
@@ -171,25 +191,18 @@ impl Db {
                 readers.insert(meta.id, Arc::new(reader));
             }
         }
-        // Replay surviving WALs (ascending id = chronological).
+        // Replay surviving WALs (ascending id = chronological). Segments
+        // below the floor are retained replication backlog: their records
+        // already live in SSTs, so they are skipped.
         let mut memtable = MemTable::new();
-        let mut wal_ids: Vec<u64> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok())
-            .filter_map(|e| {
-                let name = e.file_name().into_string().ok()?;
-                let id = name.strip_prefix("wal-")?.strip_suffix(".log")?;
-                id.parse::<u64>().ok()
-            })
-            .collect();
-        wal_ids.sort_unstable();
-        let mut obsolete_wals = Vec::new();
-        for id in &wal_ids {
-            let path = wal_path(&dir, *id);
-            for record in Wal::replay(&path)? {
+        for id in Wal::list_segments(&dir)? {
+            if id < version.wal_floor {
+                continue;
+            }
+            for record in Wal::replay(&wal_path(&dir, id))? {
                 version.next_seq = version.next_seq.max(record.seq + 1);
                 memtable.apply(&record);
             }
-            obsolete_wals.push(path);
         }
         // New writes land in a fresh WAL.
         let wal_id = version.allocate_file_id();
@@ -204,8 +217,8 @@ impl Db {
                 version,
                 readers,
                 wal,
+                wal_id,
                 wal_path: new_wal_path,
-                obsolete_wals,
             }),
             stats: StatsInner::default(),
         })
@@ -228,15 +241,17 @@ impl Db {
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
         let seq = inner.version.next_seq;
-        inner.version.next_seq += 1;
         let record = Record::put(
             Bytes::copy_from_slice(key),
             Bytes::copy_from_slice(value),
             seq,
             expires_at,
         );
+        // Allocate the sequence number only once the append lands, so a
+        // failed write never leaves a numbering gap in the log.
         inner.wal.append(&record)?;
         inner.memtable.apply(&record);
+        inner.version.next_seq = seq + 1;
         if inner.memtable.approximate_bytes() >= self.config.memtable_bytes {
             self.flush_locked(&mut inner)?;
         }
@@ -248,14 +263,140 @@ impl Db {
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
         let seq = inner.version.next_seq;
-        inner.version.next_seq += 1;
         let record = Record::delete(Bytes::copy_from_slice(key), seq);
         inner.wal.append(&record)?;
         inner.memtable.apply(&record);
+        inner.version.next_seq = seq + 1;
         if inner.memtable.approximate_bytes() >= self.config.memtable_bytes {
             self.flush_locked(&mut inner)?;
         }
         Ok(())
+    }
+
+    /// Apply a record shipped from a replication leader, preserving its
+    /// sequence number (the replication LSN).
+    ///
+    /// This is the follower half of WAL shipping: the record goes through the
+    /// exact same WAL-then-memtable path as a local write, so follower
+    /// durability and crash recovery are identical to the leader's. Returns
+    /// `Ok(false)` when the record was already applied (`seq` at or below the
+    /// follower's high-water mark) — shipping is therefore idempotent and
+    /// at-least-once delivery is safe. Callers detect *gaps* (a record
+    /// arriving with `seq` beyond `last_seq() + 1`) before applying; this
+    /// method rejects them to keep the follower a strict prefix of the leader.
+    pub fn apply_replicated(&self, record: &Record) -> Result<bool> {
+        let mut inner = self.inner.write();
+        if record.seq < inner.version.next_seq {
+            return Ok(false);
+        }
+        if record.seq > inner.version.next_seq {
+            return Err(Error::InvalidState(format!(
+                "replication gap: record seq {} but follower expects {}",
+                record.seq, inner.version.next_seq
+            )));
+        }
+        // Durability before visibility: only a record that reached the WAL
+        // may advance the high-water mark. Bumping `next_seq` first would
+        // make a failed append look applied — a re-ship would dedup and the
+        // follower would silently diverge while still counting toward quorum.
+        inner.wal.append(record)?;
+        inner.memtable.apply(record);
+        inner.version.next_seq = record.seq + 1;
+        match record.kind {
+            RecordKind::Put => self.stats.puts.fetch_add(1, Ordering::Relaxed),
+            RecordKind::Delete => self.stats.deletes.fetch_add(1, Ordering::Relaxed),
+        };
+        if inner.memtable.approximate_bytes() >= self.config.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(true)
+    }
+
+    /// Highest sequence number (replication LSN) applied so far; 0 when empty.
+    pub fn last_seq(&self) -> u64 {
+        self.inner.read().version.next_seq - 1
+    }
+
+    /// Flush buffered WAL frames to the OS so tail readers (replication
+    /// binlogs) can observe them. Does not fsync.
+    pub fn flush_wal(&self) -> Result<()> {
+        self.inner.write().wal.flush()
+    }
+
+    /// Id of the WAL segment currently receiving appends.
+    pub fn current_wal_segment(&self) -> u64 {
+        self.inner.read().wal_id
+    }
+
+    /// The directory this database lives in (replication tails its WALs).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Copy a crash-consistent snapshot of the database into `dest_dir`
+    /// (manifest, SSTs, and WALs), returning where the copy ends in the log.
+    ///
+    /// Used for full resynchronization: a follower too far behind for WAL
+    /// shipping (its segments were rotated away) reopens from a checkpoint and
+    /// resumes tailing at the returned `(wal_segment, wal_offset)` position.
+    /// `on_chunk` is invoked with each copied chunk's size — reconstruction
+    /// uses it to model per-node disk bandwidth.
+    ///
+    /// The write lock is held for the duration, so the snapshot is a
+    /// point-in-time image. This mirrors how production systems quiesce one
+    /// replica to seed another; concurrent writers simply wait.
+    pub fn checkpoint_with(
+        &self,
+        dest_dir: &Path,
+        on_chunk: &mut dyn FnMut(usize),
+    ) -> Result<CheckpointInfo> {
+        let mut inner = self.inner.write();
+        inner.wal.flush()?;
+        std::fs::create_dir_all(dest_dir)?;
+        let mut bytes_copied = 0u64;
+        let mut copy = |src: &Path, dest: &Path| -> Result<()> {
+            let mut reader = std::fs::File::open(src)?;
+            let mut writer = std::fs::File::create(dest)?;
+            let mut chunk = vec![0u8; 64 << 10];
+            loop {
+                let n = std::io::Read::read(&mut reader, &mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                std::io::Write::write_all(&mut writer, &chunk[..n])?;
+                bytes_copied += n as u64;
+                on_chunk(n);
+            }
+            Ok(())
+        };
+        for files in &inner.version.levels {
+            for meta in files {
+                let name = sst_path(&self.dir, meta.id);
+                copy(&name, &sst_path(dest_dir, meta.id))?;
+            }
+        }
+        for id in Wal::list_segments(&self.dir)? {
+            // Segments below the floor are retained backlog for tail readers;
+            // their records are already in the copied SSTs and the clone
+            // would never replay them — copying them wastes recovery
+            // bandwidth.
+            if id < inner.version.wal_floor {
+                continue;
+            }
+            copy(&wal_path(&self.dir, id), &wal_path(dest_dir, id))?;
+        }
+        inner.version.save(dest_dir)?;
+        Ok(CheckpointInfo {
+            last_seq: inner.version.next_seq - 1,
+            wal_segment: inner.wal_id,
+            wal_offset: inner.wal.appended_bytes(),
+            bytes_copied,
+        })
+    }
+
+    /// [`Db::checkpoint_with`] without a progress callback.
+    pub fn checkpoint(&self, dest_dir: &Path) -> Result<CheckpointInfo> {
+        self.checkpoint_with(dest_dir, &mut |_| {})
     }
 
     /// Point read at virtual time `now` (TTL-expired records read as absent).
@@ -376,10 +517,7 @@ impl Db {
             .block_reads
             .fetch_add(u64::from(io_ops), Ordering::Relaxed);
         let merged = MergeIterator::new(sources).dedup_newest(now, true);
-        let out = merged
-            .into_iter()
-            .map(|r| (r.key, r.value))
-            .collect();
+        let out = merged.into_iter().map(|r| (r.key, r.value)).collect();
         Ok((out, io_ops))
     }
 
@@ -417,18 +555,27 @@ impl Db {
             record_count: info.record_count,
         });
         inner.readers.insert(id, Arc::new(SstReader::open(&path)?));
-        // Rotate the WAL: new log first, then persist the version, then drop
-        // logs that only contained flushed data.
+        // Rotate the WAL: new log first, then persist the version (raising
+        // the floor past every flushed segment), then garbage-collect rotated
+        // segments beyond the retention backlog.
         let wal_id = inner.version.allocate_file_id();
         let new_wal_path = wal_path(&self.dir, wal_id);
         inner.wal = Wal::create(&new_wal_path, self.config.sync_wal)?;
-        let old_wal = std::mem::replace(&mut inner.wal_path, new_wal_path);
+        inner.wal_id = wal_id;
+        inner.wal_path = new_wal_path;
+        inner.version.wal_floor = wal_id;
         inner.version.save(&self.dir)?;
         inner.memtable.clear();
-        for path in inner.obsolete_wals.drain(..) {
-            std::fs::remove_file(path).ok();
+        let rotated: Vec<u64> = Wal::list_segments(&self.dir)?
+            .into_iter()
+            .filter(|&id| id < wal_id)
+            .collect();
+        let excess = rotated
+            .len()
+            .saturating_sub(self.config.wal_retention_segments);
+        for id in &rotated[..excess] {
+            std::fs::remove_file(wal_path(&self.dir, *id)).ok();
         }
-        std::fs::remove_file(old_wal).ok();
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -504,9 +651,10 @@ impl Db {
             inner.version.remove_file(*id);
         }
         for meta in &new_metas {
-            inner
-                .readers
-                .insert(meta.id, Arc::new(SstReader::open(&sst_path(&self.dir, meta.id))?));
+            inner.readers.insert(
+                meta.id,
+                Arc::new(SstReader::open(&sst_path(&self.dir, meta.id))?),
+            );
             inner.version.add_file(meta.clone());
         }
         inner.version.save(&self.dir)?;
@@ -548,7 +696,13 @@ impl Db {
 
     /// Live files per level, for diagnostics.
     pub fn level_file_counts(&self) -> Vec<usize> {
-        self.inner.read().version.levels.iter().map(Vec::len).collect()
+        self.inner
+            .read()
+            .version
+            .levels
+            .iter()
+            .map(Vec::len)
+            .collect()
     }
 }
 
@@ -571,29 +725,12 @@ fn upper_bound_for_prefix(prefix: &[u8]) -> Bytes {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    struct TestDir(PathBuf);
-    impl TestDir {
-        fn new(tag: &str) -> Self {
-            let path = std::env::temp_dir().join(format!(
-                "abase-db-{tag}-{}-{:?}",
-                std::process::id(),
-                std::thread::current().id()
-            ));
-            std::fs::remove_dir_all(&path).ok();
-            Self(path)
-        }
-    }
-    impl Drop for TestDir {
-        fn drop(&mut self) {
-            std::fs::remove_dir_all(&self.0).ok();
-        }
-    }
+    use abase_util::TestDir;
 
     #[test]
     fn put_get_roundtrip() {
         let dir = TestDir::new("putget");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"k1", b"v1", None, 0).unwrap();
         let r = db.get(b"k1", 0).unwrap();
         assert_eq!(r.value.as_deref(), Some(&b"v1"[..]));
@@ -604,7 +741,7 @@ mod tests {
     #[test]
     fn overwrite_returns_latest() {
         let dir = TestDir::new("overwrite");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"k", b"v1", None, 0).unwrap();
         db.put(b"k", b"v2", None, 0).unwrap();
         assert_eq!(db.get(b"k", 0).unwrap().value.as_deref(), Some(&b"v2"[..]));
@@ -613,7 +750,7 @@ mod tests {
     #[test]
     fn delete_hides_key_across_flush() {
         let dir = TestDir::new("delete");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"k", b"v", None, 0).unwrap();
         db.flush().unwrap();
         db.delete(b"k", 0).unwrap();
@@ -625,14 +762,20 @@ mod tests {
     #[test]
     fn reads_span_memtable_and_multiple_ssts() {
         let dir = TestDir::new("layers");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"in-sst-1", b"a", None, 0).unwrap();
         db.flush().unwrap();
         db.put(b"in-sst-2", b"b", None, 0).unwrap();
         db.flush().unwrap();
         db.put(b"in-mem", b"c", None, 0).unwrap();
-        assert_eq!(db.get(b"in-sst-1", 0).unwrap().value.as_deref(), Some(&b"a"[..]));
-        assert_eq!(db.get(b"in-sst-2", 0).unwrap().value.as_deref(), Some(&b"b"[..]));
+        assert_eq!(
+            db.get(b"in-sst-1", 0).unwrap().value.as_deref(),
+            Some(&b"a"[..])
+        );
+        assert_eq!(
+            db.get(b"in-sst-2", 0).unwrap().value.as_deref(),
+            Some(&b"b"[..])
+        );
         let r = db.get(b"in-mem", 0).unwrap();
         assert!(r.from_memtable);
         // An SST read costs at least one block I/O.
@@ -643,7 +786,7 @@ mod tests {
     #[test]
     fn ttl_expires_reads() {
         let dir = TestDir::new("ttl");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"k", b"v", Some(1000), 0).unwrap();
         assert!(db.get(b"k", 999).unwrap().value.is_some());
         assert!(db.get(b"k", 1000).unwrap().value.is_none());
@@ -656,7 +799,7 @@ mod tests {
     #[test]
     fn automatic_flush_on_memtable_pressure() {
         let dir = TestDir::new("autoflush");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         for i in 0..200 {
             let key = format!("key-{i:04}");
             db.put(key.as_bytes(), &[0u8; 100], None, 0).unwrap();
@@ -675,7 +818,7 @@ mod tests {
     #[test]
     fn compaction_preserves_data_and_reduces_l0() {
         let dir = TestDir::new("compact");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         for round in 0..5 {
             for i in 0..50 {
                 let key = format!("key-{i:04}");
@@ -705,11 +848,11 @@ mod tests {
     fn recovery_from_wal_after_drop() {
         let dir = TestDir::new("recover");
         {
-            let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+            let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
             db.put(b"durable", b"yes", None, 0).unwrap();
             // No flush: data only in WAL + memtable.
         }
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         assert_eq!(
             db.get(b"durable", 0).unwrap().value.as_deref(),
             Some(&b"yes"[..])
@@ -720,12 +863,12 @@ mod tests {
     fn recovery_after_flush_and_more_writes() {
         let dir = TestDir::new("recover2");
         {
-            let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+            let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
             db.put(b"a", b"1", None, 0).unwrap();
             db.flush().unwrap();
             db.put(b"b", b"2", None, 0).unwrap();
         }
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         assert_eq!(db.get(b"a", 0).unwrap().value.as_deref(), Some(&b"1"[..]));
         assert_eq!(db.get(b"b", 0).unwrap().value.as_deref(), Some(&b"2"[..]));
         // Sequence numbers continue: an overwrite after recovery wins.
@@ -736,7 +879,7 @@ mod tests {
     #[test]
     fn scan_prefix_merges_all_layers() {
         let dir = TestDir::new("scan");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"h:1", b"a", None, 0).unwrap();
         db.flush().unwrap();
         db.put(b"h:2", b"b", None, 0).unwrap();
@@ -751,7 +894,7 @@ mod tests {
     #[test]
     fn scan_prefix_hides_tombstones_and_expired() {
         let dir = TestDir::new("scan2");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"p:live", b"1", None, 0).unwrap();
         db.put(b"p:dead", b"2", None, 0).unwrap();
         db.put(b"p:ttl", b"3", Some(500), 0).unwrap();
@@ -764,7 +907,7 @@ mod tests {
     #[test]
     fn bottom_compaction_drops_tombstones_and_expired() {
         let dir = TestDir::new("gc");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         // Three flushes reach the L0 compaction trigger.
         for round in 0..3 {
             for i in 0..30 {
@@ -778,13 +921,16 @@ mod tests {
         // Compact well past expiry: everything is GC-able.
         db.compact_to_quiescence(1_000_000).unwrap();
         let after = db.total_sst_bytes();
-        assert!(after < before, "GC did not shrink storage ({before} -> {after})");
+        assert!(
+            after < before,
+            "GC did not shrink storage ({before} -> {after})"
+        );
     }
 
     #[test]
     fn stats_move() {
         let dir = TestDir::new("stats");
-        let db = Db::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         db.put(b"k", b"v", None, 0).unwrap();
         db.get(b"k", 0).unwrap();
         db.delete(b"k", 0).unwrap();
@@ -798,9 +944,10 @@ mod tests {
     #[test]
     fn concurrent_readers_and_writer() {
         let dir = TestDir::new("concurrent");
-        let db = Arc::new(Db::open(&dir.0, DbConfig::small_for_tests()).unwrap());
+        let db = Arc::new(Db::open(dir.path(), DbConfig::small_for_tests()).unwrap());
         for i in 0..100 {
-            db.put(format!("k{i:03}").as_bytes(), b"v", None, 0).unwrap();
+            db.put(format!("k{i:03}").as_bytes(), b"v", None, 0)
+                .unwrap();
         }
         db.flush().unwrap();
         let mut handles = Vec::new();
@@ -814,7 +961,8 @@ mod tests {
             }));
         }
         for i in 100..150 {
-            db.put(format!("k{i:03}").as_bytes(), b"v", None, 0).unwrap();
+            db.put(format!("k{i:03}").as_bytes(), b"v", None, 0)
+                .unwrap();
         }
         for h in handles {
             h.join().unwrap();
@@ -822,9 +970,64 @@ mod tests {
     }
 
     #[test]
+    fn apply_replicated_preserves_seq_and_dedups() {
+        let dir = TestDir::new("apply-repl");
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let r1 = crate::record::Record::put("k", "v1", 1, None);
+        let r2 = crate::record::Record::put("k", "v2", 2, None);
+        assert!(db.apply_replicated(&r1).unwrap());
+        assert!(db.apply_replicated(&r2).unwrap());
+        // Re-shipping an old record is a no-op, not a regression.
+        assert!(!db.apply_replicated(&r1).unwrap());
+        assert_eq!(db.get(b"k", 0).unwrap().value.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(db.last_seq(), 2);
+        // A gap (seq 9 when 3 is expected) is rejected loudly.
+        let gap = crate::record::Record::put("x", "y", 9, None);
+        assert!(db.apply_replicated(&gap).is_err());
+        // Local writes continue the same sequence domain.
+        db.put(b"k2", b"v", None, 0).unwrap();
+        assert_eq!(db.last_seq(), 3);
+    }
+
+    #[test]
+    fn checkpoint_clones_database_state() {
+        let src_dir = TestDir::new("ckpt-src");
+        let dst_dir = TestDir::new("ckpt-dst");
+        let db = Db::open(src_dir.path(), DbConfig::small_for_tests()).unwrap();
+        for i in 0..120 {
+            db.put(format!("key-{i:04}").as_bytes(), &[7u8; 64], None, 0)
+                .unwrap();
+        }
+        db.flush().unwrap();
+        for i in 120..140 {
+            db.put(format!("key-{i:04}").as_bytes(), &[7u8; 64], None, 0)
+                .unwrap();
+        }
+        let mut chunks = 0usize;
+        let info = db
+            .checkpoint_with(dst_dir.path(), &mut |n| chunks += n)
+            .unwrap();
+        assert_eq!(info.last_seq, db.last_seq());
+        assert_eq!(info.bytes_copied, chunks as u64);
+        assert!(info.bytes_copied > 0);
+        let clone = Db::open(dst_dir.path(), DbConfig::small_for_tests()).unwrap();
+        assert_eq!(clone.last_seq(), db.last_seq());
+        for i in 0..140 {
+            let key = format!("key-{i:04}");
+            assert!(
+                clone.get(key.as_bytes(), 0).unwrap().value.is_some(),
+                "{key} missing"
+            );
+        }
+    }
+
+    #[test]
     fn upper_bound_helper() {
         assert_eq!(upper_bound_for_prefix(b"abc"), Bytes::from("abd"));
-        assert_eq!(upper_bound_for_prefix(&[0x01, 0xFF]), Bytes::from(vec![0x02]));
+        assert_eq!(
+            upper_bound_for_prefix(&[0x01, 0xFF]),
+            Bytes::from(vec![0x02])
+        );
         let ub = upper_bound_for_prefix(&[0xFF, 0xFF]);
         assert!(ub.as_ref() > &[0xFFu8, 0xFF][..]);
     }

@@ -42,5 +42,5 @@ pub mod sstable;
 pub mod version;
 pub mod wal;
 
-pub use db::{Db, DbConfig, DbStats, ReadResult};
+pub use db::{CheckpointInfo, Db, DbConfig, DbStats, ReadResult};
 pub use error::{Error, Result};

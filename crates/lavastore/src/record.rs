@@ -5,7 +5,9 @@
 //! tombstone shadows every older value. TTL is carried per record and evaluated
 //! lazily against virtual time on read and during compaction.
 
-use crate::encoding::{get_len_prefixed, get_u64, get_varint, put_len_prefixed, put_u64, put_varint};
+use crate::encoding::{
+    get_len_prefixed, get_u64, get_varint, put_len_prefixed, put_u64, put_varint,
+};
 use crate::error::{Error, Result};
 use bytes::Bytes;
 use std::cmp::Ordering;
@@ -52,7 +54,12 @@ pub struct Record {
 
 impl Record {
     /// A put record.
-    pub fn put(key: impl Into<Bytes>, value: impl Into<Bytes>, seq: SeqNo, expires_at: Option<u64>) -> Self {
+    pub fn put(
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+        seq: SeqNo,
+        expires_at: Option<u64>,
+    ) -> Self {
         Self {
             key: key.into(),
             seq,

@@ -289,9 +289,7 @@ impl SstReader {
             return Ok((None, 0));
         }
         // First block whose last_key >= key.
-        let idx = self
-            .handles
-            .partition_point(|h| h.last_key.as_ref() < key);
+        let idx = self.handles.partition_point(|h| h.last_key.as_ref() < key);
         let Some(handle) = self.handles.get(idx) else {
             return Ok((None, 0));
         };

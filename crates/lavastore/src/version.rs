@@ -49,6 +49,10 @@ pub struct Version {
     pub next_file_id: u64,
     /// Next record sequence number.
     pub next_seq: u64,
+    /// First WAL segment id whose records are *not* fully persisted in SSTs.
+    /// Recovery replays segments from here; older segments still on disk are
+    /// a retained backlog for replication tail readers.
+    pub wal_floor: u64,
 }
 
 impl Version {
@@ -58,6 +62,7 @@ impl Version {
             levels: vec![Vec::new(); n_levels],
             next_file_id: 1,
             next_seq: 1,
+            wal_floor: 0,
         }
     }
 
@@ -121,6 +126,7 @@ impl Version {
         let mut body = Vec::new();
         put_u64(&mut body, self.next_file_id);
         put_u64(&mut body, self.next_seq);
+        put_u64(&mut body, self.wal_floor);
         put_varint(&mut body, self.levels.len() as u64);
         for files in &self.levels {
             put_varint(&mut body, files.len() as u64);
@@ -160,6 +166,7 @@ impl Version {
         let mut pos = 0usize;
         let next_file_id = get_u64(body, &mut pos)?;
         let next_seq = get_u64(body, &mut pos)?;
+        let wal_floor = get_u64(body, &mut pos)?;
         let n_levels = get_varint(body, &mut pos)? as usize;
         let mut levels = Vec::with_capacity(n_levels);
         for _ in 0..n_levels {
@@ -187,6 +194,7 @@ impl Version {
             levels,
             next_file_id,
             next_seq,
+            wal_floor,
         })
     }
 

@@ -73,6 +73,21 @@ pub enum Command {
         /// Hash key.
         key: Bytes,
     },
+    /// `WAIT numreplicas timeout-ms` — block until that many replicas have
+    /// acknowledged all preceding writes (Redis replication semantics; the
+    /// reply is the number of replicas that actually have).
+    Wait {
+        /// Follower acknowledgements required.
+        numreplicas: u64,
+        /// Wait budget in milliseconds (0 = no limit).
+        timeout_ms: u64,
+    },
+    /// `REPLCONF key value [key value …]` — replication handshake chatter
+    /// (listening-port, ack offsets). Accepted and acknowledged.
+    ReplConf {
+        /// Key/value option pairs as sent.
+        pairs: Vec<(Bytes, Bytes)>,
+    },
     /// `PING`
     Ping,
 }
@@ -139,7 +154,10 @@ impl Command {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(err(format!("{name} expects {n} arguments, got {}", args.len())))
+                Err(err(format!(
+                    "{name} expects {n} arguments, got {}",
+                    args.len()
+                )))
             }
         };
         match name.as_str() {
@@ -242,6 +260,23 @@ impl Command {
                     key: as_bulk(&args[0])?,
                 })
             }
+            "WAIT" => {
+                want(2)?;
+                Ok(Command::Wait {
+                    numreplicas: as_u64(&args[0])?,
+                    timeout_ms: as_u64(&args[1])?,
+                })
+            }
+            "REPLCONF" => {
+                if args.is_empty() || args.len() % 2 != 0 {
+                    return Err(err("REPLCONF expects key/value pairs"));
+                }
+                let mut pairs = Vec::with_capacity(args.len() / 2);
+                for pair in args.chunks_exact(2) {
+                    pairs.push((as_bulk(&pair[0])?, as_bulk(&pair[1])?));
+                }
+                Ok(Command::ReplConf { pairs })
+            }
             other => Err(err(format!("unknown command {other}"))),
         }
     }
@@ -312,6 +347,21 @@ impl Command {
                 push(b"HGETALL");
                 push(key);
             }
+            Command::Wait {
+                numreplicas,
+                timeout_ms,
+            } => {
+                push(b"WAIT");
+                push(numreplicas.to_string().as_bytes());
+                push(timeout_ms.to_string().as_bytes());
+            }
+            Command::ReplConf { pairs } => {
+                push(b"REPLCONF");
+                for (k, v) in pairs {
+                    push(k);
+                    push(v);
+                }
+            }
         }
         RespValue::array(items)
     }
@@ -328,7 +378,7 @@ impl Command {
             | Command::Expire { .. }
             | Command::HSet { .. }
             | Command::HDel { .. } => CommandKind::Write,
-            Command::Ping => CommandKind::Control,
+            Command::Ping | Command::Wait { .. } | Command::ReplConf { .. } => CommandKind::Control,
         }
     }
 
@@ -350,7 +400,7 @@ impl Command {
             | Command::HLen { key }
             | Command::HGetAll { key } => Some(key),
             Command::Del { keys } => keys.first(),
-            Command::Ping => None,
+            Command::Ping | Command::Wait { .. } | Command::ReplConf { .. } => None,
         }
     }
 
@@ -359,11 +409,7 @@ impl Command {
         match self {
             Command::Set { key, value, .. } => key.len() + value.len(),
             Command::HSet { key, pairs } => {
-                key.len()
-                    + pairs
-                        .iter()
-                        .map(|(f, v)| f.len() + v.len())
-                        .sum::<usize>()
+                key.len() + pairs.iter().map(|(f, v)| f.len() + v.len()).sum::<usize>()
             }
             Command::Del { keys } => keys.iter().map(Bytes::len).sum(),
             Command::HDel { key, fields } => {
@@ -375,7 +421,10 @@ impl Command {
             | Command::HGet { key, .. }
             | Command::HLen { key }
             | Command::HGetAll { key } => key.len(),
-            Command::Ping => 0,
+            Command::ReplConf { pairs } => {
+                pairs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
+            }
+            Command::Ping | Command::Wait { .. } => 0,
         }
     }
 }
@@ -437,7 +486,10 @@ mod tests {
             parse(&["HGETALL", "h"]).unwrap(),
             Command::HGetAll { key: "h".into() }
         );
-        assert_eq!(parse(&["HLEN", "h"]).unwrap(), Command::HLen { key: "h".into() });
+        assert_eq!(
+            parse(&["HLEN", "h"]).unwrap(),
+            Command::HLen { key: "h".into() }
+        );
     }
 
     #[test]
@@ -477,7 +529,10 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert_eq!(parse(&["GET", "k"]).unwrap().kind(), CommandKind::SimpleRead);
+        assert_eq!(
+            parse(&["GET", "k"]).unwrap().kind(),
+            CommandKind::SimpleRead
+        );
         assert_eq!(
             parse(&["HGETALL", "h"]).unwrap().kind(),
             CommandKind::ComplexRead

@@ -121,14 +121,13 @@ impl RespValue {
                     return Ok(None);
                 };
                 let total = 1 + consumed;
-                let text =
-                    std::str::from_utf8(line).map_err(|_| ParseError::BadFraming)?;
+                let text = std::str::from_utf8(line).map_err(|_| ParseError::BadFraming)?;
                 let value = match type_byte {
                     b'+' => RespValue::Simple(text.to_string()),
                     b'-' => RespValue::Error(text.to_string()),
-                    _ => RespValue::Integer(
-                        text.parse::<i64>().map_err(|_| ParseError::BadInteger)?,
-                    ),
+                    _ => {
+                        RespValue::Integer(text.parse::<i64>().map_err(|_| ParseError::BadInteger)?)
+                    }
                 };
                 Ok(Some((value, total)))
             }
@@ -250,16 +249,16 @@ mod tests {
 
     #[test]
     fn bad_type_byte_is_error() {
-        assert_eq!(RespValue::parse(b"!oops\r\n"), Err(ParseError::BadType(b'!')));
+        assert_eq!(
+            RespValue::parse(b"!oops\r\n"),
+            Err(ParseError::BadType(b'!'))
+        );
     }
 
     #[test]
     fn bad_bulk_framing_is_error() {
         // Declared 2 bytes but terminator is wrong.
-        assert_eq!(
-            RespValue::parse(b"$2\r\nabXY"),
-            Err(ParseError::BadFraming)
-        );
+        assert_eq!(RespValue::parse(b"$2\r\nabXY"), Err(ParseError::BadFraming));
     }
 
     #[test]

@@ -98,8 +98,7 @@ impl RuEstimator {
     /// write plus `r − 1` synchronizations, each costing `S/U` — a total of
     /// `r · S/U`.
     pub fn write_ru(&self, size: usize, replicas: u32) -> f64 {
-        let per_replica =
-            (size as f64 / self.config.unit_bytes as f64).max(self.config.min_ru);
+        let per_replica = (size as f64 / self.config.unit_bytes as f64).max(self.config.min_ru);
         per_replica * replicas as f64
     }
 
@@ -161,8 +160,7 @@ impl RuEstimator {
     pub fn estimate_hgetall_ru(&self) -> f64 {
         let scan_bytes = self.hash_len.mean() * self.hash_field_size.mean();
         let h = self.hit_ratio.mean().clamp(0.0, 1.0);
-        self.estimate_hlen_ru()
-            + (scan_bytes * (1.0 - h) / self.config.unit_bytes as f64).max(0.0)
+        self.estimate_hlen_ru() + (scan_bytes * (1.0 - h) / self.config.unit_bytes as f64).max(0.0)
     }
 
     /// Current `E[S_read]` (bytes).

@@ -1,0 +1,205 @@
+//! The binlog: a tail-reading cursor over a leader's WAL segment files.
+//!
+//! LavaStore names its WAL segments `wal-<id>.log` with ids from one
+//! monotonic allocator, so ascending id is chronological. A [`Binlog`]
+//! remembers `(segment, byte offset)` and each [`Binlog::poll`] returns every
+//! record the leader fully framed since the last poll, advancing across
+//! rotated segments. When the cursor's segment has been rotated *away*
+//! (deleted after a memtable flush) before the follower finished it, the
+//! missed records now live only in SSTs — the poll reports [`Poll::Gap`] and
+//! the follower must full-resync from a leader checkpoint
+//! ([`abase_lavastore::Db::checkpoint_with`]), exactly like a Redis replica
+//! falling off the backlog and taking a full sync.
+
+use crate::Result;
+use abase_lavastore::record::Record;
+use abase_lavastore::wal::Wal;
+use abase_lavastore::Error as StorageError;
+use std::path::{Path, PathBuf};
+
+/// Outcome of one poll.
+#[derive(Debug)]
+pub enum Poll {
+    /// Newly shipped records, possibly empty (nothing appended since).
+    Records(Vec<Record>),
+    /// The cursor fell behind segment rotation; a full resync is required.
+    Gap,
+}
+
+/// A persistent read cursor over a WAL directory.
+#[derive(Debug)]
+pub struct Binlog {
+    dir: PathBuf,
+    /// Current segment id; `None` until the first poll finds one.
+    segment: Option<u64>,
+    /// Byte offset of the next unread frame within `segment`.
+    offset: u64,
+}
+
+impl Binlog {
+    /// Attach to `dir`, positioned at the start of the oldest live segment.
+    pub fn attach(dir: impl AsRef<Path>) -> Self {
+        Self {
+            dir: dir.as_ref().to_path_buf(),
+            segment: None,
+            offset: 0,
+        }
+    }
+
+    /// Reposition the cursor (used after a full resync: the checkpoint tells
+    /// the follower exactly where the copied state ends in the log).
+    pub fn seek(&mut self, segment: u64, offset: u64) {
+        self.segment = Some(segment);
+        self.offset = offset;
+    }
+
+    /// The directory being tailed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current `(segment, offset)` position, if attached to a segment yet.
+    pub fn position(&self) -> Option<(u64, u64)> {
+        self.segment.map(|s| (s, self.offset))
+    }
+
+    /// Read every record fully framed since the last poll.
+    ///
+    /// A torn frame at the tail (the leader's buffered writer flushed
+    /// mid-frame) parks the cursor before it; the next poll retries. Reports
+    /// [`Poll::Gap`] when the cursor's segment no longer exists.
+    pub fn poll(&mut self) -> Result<Poll> {
+        // The poll sits on the synchronous-replication write path, so keep
+        // the directory traffic minimal: one listing per poll iteration (to
+        // decide segment advancement), and one only at first attach.
+        if self.segment.is_none() {
+            let ids = Wal::list_segments(&self.dir)?;
+            let Some(&oldest) = ids.first() else {
+                return Ok(Poll::Records(Vec::new()));
+            };
+            self.segment = Some(oldest);
+            self.offset = 0;
+        }
+        let mut out = Vec::new();
+        loop {
+            let segment = self.segment.expect("segment set above");
+            let path = Wal::segment_path(&self.dir, segment);
+            match Wal::replay_from(&path, self.offset) {
+                Ok((records, cursor)) => {
+                    out.extend(records);
+                    self.offset = cursor;
+                }
+                Err(StorageError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Ok(Poll::Gap);
+                }
+                Err(e) => return Err(e.into()),
+            }
+            // A segment is closed exactly when a newer one exists; only then
+            // may the cursor advance. Listing *after* the read also catches a
+            // rotation that happened while reading, within this same poll.
+            let ids = Wal::list_segments(&self.dir)?;
+            match ids.iter().find(|&&id| id > segment) {
+                Some(&next) => {
+                    self.segment = Some(next);
+                    self.offset = 0;
+                }
+                None => break,
+            }
+        }
+        Ok(Poll::Records(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abase_lavastore::{Db, DbConfig};
+    use abase_util::TestDir;
+
+    fn expect_records(poll: Poll) -> Vec<Record> {
+        match poll {
+            Poll::Records(r) => r,
+            Poll::Gap => panic!("unexpected gap"),
+        }
+    }
+
+    #[test]
+    fn tails_live_writes() {
+        let dir = TestDir::new("tail");
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let mut binlog = Binlog::attach(dir.path());
+        db.put(b"a", b"1", None, 0).unwrap();
+        db.put(b"b", b"2", None, 0).unwrap();
+        db.flush_wal().unwrap();
+        let records = expect_records(binlog.poll().unwrap());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].key, &b"a"[..]);
+        assert_eq!(records[0].seq, 1);
+        // Nothing new: empty batch, cursor stable.
+        assert!(expect_records(binlog.poll().unwrap()).is_empty());
+        db.delete(b"a", 0).unwrap();
+        db.flush_wal().unwrap();
+        let records = expect_records(binlog.poll().unwrap());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 3);
+    }
+
+    #[test]
+    fn follows_rotation_across_segments() {
+        let dir = TestDir::new("rotate");
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let mut binlog = Binlog::attach(dir.path());
+        db.put(b"before", b"x", None, 0).unwrap();
+        db.flush_wal().unwrap();
+        assert_eq!(expect_records(binlog.poll().unwrap()).len(), 1);
+        // Flush rotates the WAL; the cursor's (now consumed) segment is
+        // deleted but everything in it was already read — no gap.
+        db.flush().unwrap();
+        db.put(b"after", b"y", None, 0).unwrap();
+        db.flush_wal().unwrap();
+        let records = expect_records(binlog.poll().unwrap());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, &b"after"[..]);
+    }
+
+    #[test]
+    fn rotation_before_read_is_a_gap() {
+        let dir = TestDir::new("gap");
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let mut binlog = Binlog::attach(dir.path());
+        db.put(b"k1", b"v", None, 0).unwrap();
+        db.flush_wal().unwrap();
+        // The follower reads the first batch, then stalls while the leader
+        // rotates past the retention backlog: the cursor's segment vanishes.
+        assert_eq!(expect_records(binlog.poll().unwrap()).len(), 1);
+        let backlog = db.config().wal_retention_segments;
+        for i in 0..backlog + 2 {
+            db.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+            db.flush().unwrap();
+        }
+        match binlog.poll().unwrap() {
+            Poll::Gap => {}
+            Poll::Records(r) => panic!("expected gap, got {} records", r.len()),
+        }
+    }
+
+    #[test]
+    fn seek_resumes_after_checkpoint() {
+        let dir = TestDir::new("seek");
+        let clone_dir = TestDir::new("seek-clone");
+        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        db.put(b"a", b"1", None, 0).unwrap();
+        db.put(b"b", b"2", None, 0).unwrap();
+        let info = db.checkpoint(clone_dir.path()).unwrap();
+        // A cursor seeked to the checkpoint boundary sees only post-snapshot
+        // writes.
+        let mut binlog = Binlog::attach(dir.path());
+        binlog.seek(info.wal_segment, info.wal_offset);
+        db.put(b"c", b"3", None, 0).unwrap();
+        db.flush_wal().unwrap();
+        let records = expect_records(binlog.poll().unwrap());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, &b"c"[..]);
+        assert_eq!(records[0].seq, info.last_seq + 1);
+    }
+}

@@ -1,0 +1,826 @@
+//! Replica groups: one leader, N−1 followers, WAL shipping in between.
+//!
+//! A [`ReplicaGroup`] owns a full [`Db`] per replica (in production these
+//! live on different DataNodes; the group object is the control-plane view).
+//! Writes go to the leader; each follower tails the leader's WAL through a
+//! [`Binlog`] and applies records with their original sequence numbers, so a
+//! follower's acked LSN *is* its `Db::last_seq`. The write path enforces a
+//! [`WriteConcern`]; the read path picks a replica per [`ReadConsistency`];
+//! failover promotes the most-caught-up live follower, which — because WAL
+//! shipping applies records in order (prefix property) — retains every write
+//! any follower ever acked below its LSN.
+
+use crate::binlog::{Binlog, Poll};
+use crate::{Error, Lsn, Result};
+use abase_lavastore::{Db, DbConfig, Error as StorageError, ReadResult};
+use abase_util::clock::SimTime;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Replica identifier (the DataNode hosting it, in cluster terms).
+pub type ReplicaId = u32;
+
+/// How many replicas must hold a write before it is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteConcern {
+    /// Leader only; followers catch up on [`ReplicaGroup::tick`].
+    Async,
+    /// A majority of the group's membership (leader included).
+    Quorum,
+    /// Every live replica.
+    All,
+}
+
+/// Which replica may serve a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadConsistency {
+    /// Any live replica; may be stale.
+    Eventual,
+    /// Any replica that has applied at least this LSN (LSN fencing): a client
+    /// that remembers the LSN of its last write never reads before it.
+    ReadYourWrites(Lsn),
+    /// The leader only.
+    Leader,
+}
+
+/// A replica's role within its group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; its WAL is the group's log.
+    Leader,
+    /// Tails the leader's WAL.
+    Follower,
+}
+
+/// Group construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupConfig {
+    /// Write concern applied by [`ReplicaGroup::put`]/[`ReplicaGroup::delete`].
+    pub write_concern: WriteConcern,
+    /// Storage engine configuration shared by every replica.
+    pub db: DbConfig,
+}
+
+struct Replica {
+    id: ReplicaId,
+    dir: PathBuf,
+    db: Arc<Db>,
+    role: Role,
+    alive: bool,
+    /// Follower-only: cursor over the leader's WAL.
+    binlog: Option<Binlog>,
+    /// Forces a checkpoint resync before the next pump (set when a demoted
+    /// ex-leader may hold a divergent unacked tail whose sequence numbers
+    /// would wrongly dedup against the new leader's history).
+    needs_full_resync: bool,
+    /// Full resynchronizations performed (fell off the leader's log).
+    resyncs: u64,
+}
+
+/// Observability snapshot for one replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Replica id.
+    pub id: ReplicaId,
+    /// Current role.
+    pub role: Role,
+    /// Reachability.
+    pub alive: bool,
+    /// Highest LSN applied (`Db::last_seq`).
+    pub acked_lsn: Lsn,
+    /// Full resyncs performed.
+    pub resyncs: u64,
+}
+
+/// Observability snapshot for the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupStatus {
+    /// The partition this group serves.
+    pub partition: u64,
+    /// Current leader, if one is alive.
+    pub leader: Option<ReplicaId>,
+    /// Per-replica state.
+    pub replicas: Vec<ReplicaStatus>,
+}
+
+/// A leader/follower replica group shipping the leader's WAL.
+pub struct ReplicaGroup {
+    partition: u64,
+    config: GroupConfig,
+    replicas: Vec<Replica>,
+    /// Round-robin cursor for `Eventual`/fenced reads.
+    read_cursor: usize,
+}
+
+impl std::fmt::Debug for ReplicaGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaGroup")
+            .field("partition", &self.partition)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl ReplicaGroup {
+    /// Create a fresh group for `partition` under `base_dir`: the first id in
+    /// `replica_ids` starts as leader, the rest as followers, each replica in
+    /// `base_dir/p<partition>-r<id>`.
+    pub fn bootstrap(
+        partition: u64,
+        base_dir: impl AsRef<Path>,
+        replica_ids: &[ReplicaId],
+        config: GroupConfig,
+    ) -> Result<Self> {
+        assert!(
+            !replica_ids.is_empty(),
+            "a group needs at least one replica"
+        );
+        let base_dir = base_dir.as_ref();
+        let leader_dir = replica_dir(base_dir, partition, replica_ids[0]);
+        let mut replicas = Vec::with_capacity(replica_ids.len());
+        for (i, &id) in replica_ids.iter().enumerate() {
+            let dir = replica_dir(base_dir, partition, id);
+            let db = Arc::new(Db::open(&dir, config.db)?);
+            let (role, binlog) = if i == 0 {
+                (Role::Leader, None)
+            } else {
+                (Role::Follower, Some(Binlog::attach(&leader_dir)))
+            };
+            replicas.push(Replica {
+                id,
+                dir,
+                db,
+                role,
+                alive: true,
+                binlog,
+                needs_full_resync: false,
+                resyncs: 0,
+            });
+        }
+        Ok(Self {
+            partition,
+            config,
+            replicas,
+            read_cursor: 0,
+        })
+    }
+
+    /// The partition this group serves.
+    pub fn partition(&self) -> u64 {
+        self.partition
+    }
+
+    /// The configured write concern.
+    pub fn write_concern(&self) -> WriteConcern {
+        self.config.write_concern
+    }
+
+    /// Group membership in declaration order.
+    pub fn members(&self) -> Vec<ReplicaId> {
+        self.replicas.iter().map(|r| r.id).collect()
+    }
+
+    /// The live leader's id.
+    pub fn leader(&self) -> Option<ReplicaId> {
+        self.replicas
+            .iter()
+            .find(|r| r.role == Role::Leader && r.alive)
+            .map(|r| r.id)
+    }
+
+    /// The live leader's database handle.
+    pub fn leader_db(&self) -> Result<Arc<Db>> {
+        self.replicas
+            .iter()
+            .find(|r| r.role == Role::Leader && r.alive)
+            .map(|r| Arc::clone(&r.db))
+            .ok_or(Error::NoLeader)
+    }
+
+    /// A replica's current database handle (replaced wholesale on resync).
+    pub fn db(&self, id: ReplicaId) -> Result<Arc<Db>> {
+        self.find(id).map(|r| Arc::clone(&r.db))
+    }
+
+    /// A replica's on-disk directory.
+    pub fn replica_dir(&self, id: ReplicaId) -> Result<PathBuf> {
+        self.find(id).map(|r| r.dir.clone())
+    }
+
+    /// Is the replica marked reachable?
+    pub fn is_alive(&self, id: ReplicaId) -> bool {
+        self.find(id).map(|r| r.alive).unwrap_or(false)
+    }
+
+    /// Highest LSN `id` has applied.
+    pub fn acked_lsn(&self, id: ReplicaId) -> Result<Lsn> {
+        self.find(id).map(|r| r.db.last_seq())
+    }
+
+    /// Live replicas (leader included) whose applied LSN is at least `lsn`.
+    pub fn acked_count(&self, lsn: Lsn) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.alive && r.db.last_seq() >= lsn)
+            .count()
+    }
+
+    /// Write `key = value` through the leader and enforce the group's write
+    /// concern; returns the write's LSN.
+    pub fn put(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        expires_at: Option<SimTime>,
+        now: SimTime,
+    ) -> Result<Lsn> {
+        let leader = self.leader_db()?;
+        leader.put(key, value, expires_at, now)?;
+        let lsn = leader.last_seq();
+        self.commit(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Delete `key` through the leader under the group's write concern.
+    pub fn delete(&mut self, key: &[u8], now: SimTime) -> Result<Lsn> {
+        let leader = self.leader_db()?;
+        leader.delete(key, now)?;
+        let lsn = leader.last_seq();
+        self.commit(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Enforce the configured write concern for everything up to `lsn` (used
+    /// directly when writes went to [`ReplicaGroup::leader_db`] out-of-band,
+    /// e.g. through a table engine executing RESP commands).
+    pub fn commit(&mut self, lsn: Lsn) -> Result<usize> {
+        let need = match self.config.write_concern {
+            WriteConcern::Async => return Ok(1),
+            WriteConcern::Quorum => self.replicas.len() / 2 + 1,
+            WriteConcern::All => self.replicas.iter().filter(|r| r.alive).count(),
+        };
+        self.replicate_until(lsn, need)
+    }
+
+    /// Ship the leader's log to followers until `need` replicas (leader
+    /// included) have applied `lsn`, pumping as few followers as possible.
+    fn replicate_until(&mut self, lsn: Lsn, need: usize) -> Result<usize> {
+        self.leader_db()?.flush_wal()?;
+        let mut acked = self.acked_count(lsn);
+        if acked < need {
+            let follower_ids: Vec<ReplicaId> = self
+                .replicas
+                .iter()
+                .filter(|r| r.alive && r.role == Role::Follower && r.db.last_seq() < lsn)
+                .map(|r| r.id)
+                .collect();
+            for id in follower_ids {
+                self.pump_follower(id)?;
+                acked = self.acked_count(lsn);
+                if acked >= need {
+                    break;
+                }
+            }
+        }
+        if acked < need {
+            return Err(Error::NoQuorum { need, acked });
+        }
+        Ok(acked)
+    }
+
+    /// Block until at least `numreplicas` *followers* have applied `lsn`
+    /// (Redis `WAIT` semantics: the leader itself is not counted). Returns
+    /// the number of followers that have, which may exceed the ask.
+    pub fn wait(&mut self, lsn: Lsn, numreplicas: usize) -> Result<usize> {
+        // Falling short of the ask is the answer (the returned count), but a
+        // real storage fault must not masquerade as replication lag.
+        match self.replicate_until(lsn, (numreplicas + 1).min(self.replicas.len())) {
+            Ok(_) | Err(Error::NoQuorum { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(self
+            .replicas
+            .iter()
+            .filter(|r| r.alive && r.role == Role::Follower && r.db.last_seq() >= lsn)
+            .count())
+    }
+
+    /// Ship pending log to every live follower (the periodic `Async`
+    /// catch-up; cluster simulators call this once per tick).
+    pub fn tick(&mut self) -> Result<()> {
+        if let Ok(leader) = self.leader_db() {
+            leader.flush_wal()?;
+        }
+        let ids: Vec<ReplicaId> = self
+            .replicas
+            .iter()
+            .filter(|r| r.alive && r.role == Role::Follower)
+            .map(|r| r.id)
+            .collect();
+        for id in ids {
+            self.pump_follower(id)?;
+        }
+        Ok(())
+    }
+
+    /// Read `key` at the requested consistency level.
+    pub fn read(
+        &mut self,
+        key: &[u8],
+        consistency: ReadConsistency,
+        now: SimTime,
+    ) -> Result<ReadResult> {
+        let replica = match consistency {
+            ReadConsistency::Leader => self
+                .replicas
+                .iter()
+                .position(|r| r.role == Role::Leader && r.alive)
+                .ok_or(Error::NoLeader)?,
+            ReadConsistency::Eventual => self.pick_replica(|_| true).ok_or(Error::NoLeader)?,
+            ReadConsistency::ReadYourWrites(lsn) => self
+                .pick_replica(|r| r.db.last_seq() >= lsn)
+                .ok_or(Error::NoQuorum { need: 1, acked: 0 })?,
+        };
+        Ok(self.replicas[replica].db.get(key, now)?)
+    }
+
+    /// Round-robin over live replicas passing `filter`.
+    fn pick_replica(&mut self, filter: impl Fn(&Replica) -> bool) -> Option<usize> {
+        let n = self.replicas.len();
+        for step in 0..n {
+            let idx = (self.read_cursor + step) % n;
+            let r = &self.replicas[idx];
+            if r.alive && filter(r) {
+                self.read_cursor = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Mark a replica unreachable (node failure). Writes and leader reads
+    /// fail until [`ReplicaGroup::promote`] if the leader died.
+    pub fn fail_replica(&mut self, id: ReplicaId) -> Result<()> {
+        self.find_mut(id)?.alive = false;
+        Ok(())
+    }
+
+    /// Mark a previously failed replica reachable again. Its next pump either
+    /// resumes WAL tailing or, if it fell off the log, full-resyncs.
+    pub fn revive_replica(&mut self, id: ReplicaId) -> Result<()> {
+        self.find_mut(id)?.alive = true;
+        Ok(())
+    }
+
+    /// Elect the most-caught-up live follower as leader after the old leader
+    /// died. Followers re-attach their binlogs to the new leader. Because log
+    /// application is strictly in order, the follower with the highest
+    /// applied LSN holds a superset of every write any replica acked — so no
+    /// acknowledged write is lost.
+    pub fn promote(&mut self) -> Result<ReplicaId> {
+        if self
+            .replicas
+            .iter()
+            .any(|r| r.role == Role::Leader && r.alive)
+        {
+            return Err(Error::LeaderStillAlive);
+        }
+        let winner = self
+            .replicas
+            .iter()
+            .filter(|r| r.alive && r.role == Role::Follower)
+            .max_by(|a, b| {
+                a.db.last_seq()
+                    .cmp(&b.db.last_seq())
+                    // Deterministic tie-break: prefer the lowest id.
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|r| r.id)
+            .ok_or(Error::NoPromotionCandidate)?;
+        let leader_dir = self.find(winner)?.dir.clone();
+        for r in &mut self.replicas {
+            if r.id == winner {
+                r.role = Role::Leader;
+                r.binlog = None;
+            } else {
+                // Everyone else — including the dead ex-leader — becomes a
+                // follower of the winner. Demoting the old leader here is
+                // what prevents split brain: if it is later revived it tails
+                // the new leader instead of silently resuming leadership.
+                // Fresh attach: duplicate records dedup on apply; if the new
+                // leader already rotated past what a follower needs, the gap
+                // path triggers a full resync. An ex-leader whose unacked
+                // tail diverged resyncs the same way (its WAL is discarded
+                // for a checkpoint of the new leader).
+                if r.role == Role::Leader {
+                    // A dead ex-leader may carry unacked records that share
+                    // sequence numbers with the new leader's history; WAL
+                    // shipping alone cannot reconcile that, so force a
+                    // checkpoint resync before it ever serves again.
+                    r.needs_full_resync = true;
+                }
+                r.role = Role::Follower;
+                r.binlog = Some(Binlog::attach(&leader_dir));
+            }
+        }
+        Ok(winner)
+    }
+
+    /// Replace a dead member with a freshly reconstructed replica whose data
+    /// directory `dir` was seeded by [`crate::failover`]. The new replica
+    /// opens the copied state and starts tailing the current leader.
+    pub fn adopt_replica(
+        &mut self,
+        dead: ReplicaId,
+        new_id: ReplicaId,
+        dir: PathBuf,
+    ) -> Result<()> {
+        let leader_dir = {
+            let leader = self
+                .replicas
+                .iter()
+                .find(|r| r.role == Role::Leader && r.alive)
+                .ok_or(Error::NoLeader)?;
+            leader.dir.clone()
+        };
+        let slot = self.find_index(dead)?;
+        let db = Arc::new(Db::open(&dir, self.config.db)?);
+        self.replicas[slot] = Replica {
+            id: new_id,
+            dir,
+            db,
+            role: Role::Follower,
+            alive: true,
+            binlog: Some(Binlog::attach(&leader_dir)),
+            needs_full_resync: false,
+            resyncs: 0,
+        };
+        // Catch the newcomer up to the leader's current position.
+        self.pump_follower(new_id)
+    }
+
+    /// Pump one follower's binlog: apply newly shipped records; on a gap,
+    /// full-resync from a leader checkpoint and continue tailing from there.
+    pub fn pump_follower(&mut self, id: ReplicaId) -> Result<()> {
+        // Two rounds maximum: a gap resolves through resync, after which the
+        // second poll must succeed (the cursor sits at a live position).
+        for attempt in 0..2 {
+            let idx = self.find_index(id)?;
+            {
+                let r = &self.replicas[idx];
+                if !r.alive || r.role != Role::Follower {
+                    return Ok(());
+                }
+                if r.needs_full_resync {
+                    self.resync_follower(id)?;
+                }
+            }
+            let idx = self.find_index(id)?;
+            let outcome = {
+                let r = &mut self.replicas[idx];
+                let Some(binlog) = r.binlog.as_mut() else {
+                    return Ok(());
+                };
+                binlog.poll()?
+            };
+            match outcome {
+                Poll::Records(records) => {
+                    let r = &mut self.replicas[idx];
+                    let mut in_stream_gap = false;
+                    for record in &records {
+                        match r.db.apply_replicated(record) {
+                            Ok(_) => {}
+                            Err(StorageError::InvalidState(_)) => {
+                                // LSN gap inside the stream (possible after a
+                                // leader change): fall back to full resync.
+                                in_stream_gap = true;
+                                break;
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    if in_stream_gap {
+                        self.resync_follower(id)?;
+                    }
+                    return Ok(());
+                }
+                Poll::Gap => {
+                    self.resync_follower(id)?;
+                    if attempt == 1 {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a follower from a leader checkpoint (it fell off the log).
+    fn resync_follower(&mut self, id: ReplicaId) -> Result<()> {
+        let leader = self.leader_db()?;
+        let leader_dir = {
+            let l = self
+                .replicas
+                .iter()
+                .find(|r| r.role == Role::Leader && r.alive)
+                .ok_or(Error::NoLeader)?;
+            l.dir.clone()
+        };
+        let idx = self.find_index(id)?;
+        let dir = self.replicas[idx].dir.clone();
+        std::fs::remove_dir_all(&dir).map_err(StorageError::Io)?;
+        let info = leader.checkpoint(&dir)?;
+        let db = Arc::new(Db::open(&dir, self.config.db)?);
+        let r = &mut self.replicas[idx];
+        r.db = db;
+        let mut binlog = Binlog::attach(&leader_dir);
+        binlog.seek(info.wal_segment, info.wal_offset);
+        r.binlog = Some(binlog);
+        r.needs_full_resync = false;
+        r.resyncs += 1;
+        Ok(())
+    }
+
+    /// Snapshot of the group's replication state.
+    pub fn status(&self) -> GroupStatus {
+        GroupStatus {
+            partition: self.partition,
+            leader: self.leader(),
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| ReplicaStatus {
+                    id: r.id,
+                    role: r.role,
+                    alive: r.alive,
+                    acked_lsn: r.db.last_seq(),
+                    resyncs: r.resyncs,
+                })
+                .collect(),
+        }
+    }
+
+    fn find(&self, id: ReplicaId) -> Result<&Replica> {
+        self.replicas
+            .iter()
+            .find(|r| r.id == id)
+            .ok_or(Error::UnknownReplica(id))
+    }
+
+    fn find_mut(&mut self, id: ReplicaId) -> Result<&mut Replica> {
+        self.replicas
+            .iter_mut()
+            .find(|r| r.id == id)
+            .ok_or(Error::UnknownReplica(id))
+    }
+
+    fn find_index(&self, id: ReplicaId) -> Result<usize> {
+        self.replicas
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(Error::UnknownReplica(id))
+    }
+}
+
+/// Directory layout: one subdirectory per (partition, replica).
+pub fn replica_dir(base: &Path, partition: u64, id: ReplicaId) -> PathBuf {
+    base.join(format!("p{partition}-r{id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abase_util::TestDir;
+
+    fn group(tag: &str, concern: WriteConcern) -> (TestDir, ReplicaGroup) {
+        let dir = TestDir::new(tag);
+        let g = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[10, 20, 30],
+            GroupConfig {
+                write_concern: concern,
+                db: DbConfig::small_for_tests(),
+            },
+        )
+        .unwrap();
+        (dir, g)
+    }
+
+    #[test]
+    fn quorum_write_lands_on_majority() {
+        let (_d, mut g) = group("quorum", WriteConcern::Quorum);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        assert_eq!(lsn, 1);
+        assert!(g.acked_count(lsn) >= 2);
+        // Quorum pumps only as many followers as needed: the laggard catches
+        // up on tick.
+        g.tick().unwrap();
+        assert_eq!(g.acked_count(lsn), 3);
+    }
+
+    #[test]
+    fn all_concern_reaches_every_replica() {
+        let (_d, mut g) = group("all", WriteConcern::All);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        assert_eq!(g.acked_count(lsn), 3);
+    }
+
+    #[test]
+    fn async_defers_shipping_to_tick() {
+        let (_d, mut g) = group("async", WriteConcern::Async);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        assert_eq!(g.acked_count(lsn), 1); // leader only
+        g.tick().unwrap();
+        assert_eq!(g.acked_count(lsn), 3);
+    }
+
+    #[test]
+    fn read_consistency_levels() {
+        let (_d, mut g) = group("consistency", WriteConcern::Async);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        // Leader always sees its own write.
+        let r = g.read(b"k", ReadConsistency::Leader, 0).unwrap();
+        assert_eq!(r.value.as_deref(), Some(&b"v"[..]));
+        // Fenced read never returns pre-write state: with lagging followers
+        // it must route to a replica at/above the LSN (here: the leader).
+        let r = g
+            .read(b"k", ReadConsistency::ReadYourWrites(lsn), 0)
+            .unwrap();
+        assert_eq!(r.value.as_deref(), Some(&b"v"[..]));
+        // Eventual may hit a stale follower — after tick it converges.
+        g.tick().unwrap();
+        for _ in 0..3 {
+            let r = g.read(b"k", ReadConsistency::Eventual, 0).unwrap();
+            assert_eq!(r.value.as_deref(), Some(&b"v"[..]));
+        }
+    }
+
+    #[test]
+    fn fenced_reads_prefer_caught_up_followers() {
+        let (_d, mut g) = group("fence", WriteConcern::All);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        // All three replicas qualify; reads rotate across them.
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let before = g.read_cursor;
+            g.read(b"k", ReadConsistency::ReadYourWrites(lsn), 0)
+                .unwrap();
+            served.insert(before);
+        }
+        assert!(served.len() >= 2, "fenced reads did not spread load");
+    }
+
+    #[test]
+    fn quorum_fails_without_majority() {
+        let (_d, mut g) = group("noquorum", WriteConcern::Quorum);
+        g.fail_replica(20).unwrap();
+        g.fail_replica(30).unwrap();
+        match g.put(b"k", b"v", None, 0) {
+            Err(Error::NoQuorum { need: 2, acked: 1 }) => {}
+            other => panic!("expected NoQuorum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn promotion_picks_most_caught_up_follower() {
+        let (_d, mut g) = group("promote", WriteConcern::Async);
+        for i in 0..10 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        // Ship everything to follower 20 only; 30 stays at LSN 0.
+        g.leader_db().unwrap().flush_wal().unwrap();
+        g.pump_follower(20).unwrap();
+        assert_eq!(g.acked_lsn(20).unwrap(), 10);
+        assert_eq!(g.acked_lsn(30).unwrap(), 0);
+        g.fail_replica(10).unwrap();
+        assert_eq!(g.promote().unwrap(), 20);
+        assert_eq!(g.leader(), Some(20));
+        // The laggard re-attaches to the new leader and converges.
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(30).unwrap(), 10);
+        // Writes continue through the new leader.
+        let lsn = g.put(b"after", b"x", None, 0).unwrap();
+        assert_eq!(lsn, 11);
+    }
+
+    #[test]
+    fn revived_ex_leader_does_not_reclaim_leadership() {
+        let (_d, mut g) = group("splitbrain", WriteConcern::Async);
+        // Leader 10 writes 5 records; followers fully caught up.
+        for i in 0..5 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        g.tick().unwrap();
+        // Leader 10 writes 2 more that never ship (unacked divergent tail),
+        // then dies.
+        g.leader_db()
+            .unwrap()
+            .put(b"unacked-1", b"x", None, 0)
+            .unwrap();
+        g.leader_db()
+            .unwrap()
+            .put(b"unacked-2", b"x", None, 0)
+            .unwrap();
+        g.fail_replica(10).unwrap();
+        let new_leader = g.promote().unwrap();
+        assert_eq!(new_leader, 20);
+        // The new leader writes its own history over the same LSNs.
+        g.put(b"new-6", b"y", None, 0).unwrap();
+        g.put(b"new-7", b"y", None, 0).unwrap();
+        // Node 10 comes back: it must NOT be leader, and its divergent tail
+        // must be discarded in favor of the new leader's history.
+        g.revive_replica(10).unwrap();
+        assert_eq!(
+            g.leader(),
+            Some(20),
+            "revived ex-leader reclaimed leadership"
+        );
+        g.tick().unwrap();
+        let db10 = g.db(10).unwrap();
+        assert!(
+            db10.get(b"unacked-1", 0).unwrap().value.is_none(),
+            "divergent tail survived"
+        );
+        assert!(
+            db10.get(b"new-6", 0).unwrap().value.is_some(),
+            "new history missing"
+        );
+        assert_eq!(db10.last_seq(), g.leader_db().unwrap().last_seq());
+        let s10 = g
+            .status()
+            .replicas
+            .iter()
+            .find(|r| r.id == 10)
+            .cloned()
+            .unwrap();
+        assert_eq!(s10.role, Role::Follower);
+        assert!(s10.resyncs >= 1, "ex-leader must full-resync");
+    }
+
+    #[test]
+    fn promotion_requires_dead_leader_and_live_follower() {
+        let (_d, mut g) = group("promote-guard", WriteConcern::Async);
+        match g.promote() {
+            Err(Error::LeaderStillAlive) => {}
+            other => panic!("{other:?}"),
+        }
+        g.fail_replica(10).unwrap();
+        g.fail_replica(20).unwrap();
+        g.fail_replica(30).unwrap();
+        match g.promote() {
+            Err(Error::NoPromotionCandidate) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn follower_that_fell_off_the_log_resyncs() {
+        let (_d, mut g) = group("resync", WriteConcern::Async);
+        // First shipment establishes follower cursors.
+        g.put(b"seed", b"v", None, 0).unwrap();
+        g.tick().unwrap();
+        // Leader flushes past the retention backlog without follower 20
+        // pumping: its cursor's segment is rotated away.
+        g.fail_replica(20).unwrap();
+        let backlog = g.leader_db().unwrap().config().wal_retention_segments;
+        let rounds = backlog + 2;
+        for round in 0..rounds {
+            for i in 0..30 {
+                g.put(format!("r{round}-k{i}").as_bytes(), &[0u8; 64], None, 0)
+                    .unwrap();
+            }
+            g.leader_db().unwrap().flush().unwrap();
+        }
+        // Node 20 comes back; catching up requires a full resync.
+        g.revive_replica(20).unwrap();
+        g.tick().unwrap();
+        let status = g.status();
+        let s20 = status.replicas.iter().find(|r| r.id == 20).unwrap();
+        assert!(s20.resyncs >= 1, "expected a full resync");
+        assert_eq!(s20.acked_lsn, g.leader_db().unwrap().last_seq());
+        // And the data is really there.
+        let last = format!("r{}-k29", rounds - 1);
+        let r = g.db(20).unwrap().get(last.as_bytes(), 0).unwrap();
+        assert!(r.value.is_some());
+    }
+
+    #[test]
+    fn status_reflects_roles_and_lsns() {
+        let (_d, mut g) = group("status", WriteConcern::All);
+        g.put(b"k", b"v", None, 0).unwrap();
+        let status = g.status();
+        assert_eq!(status.partition, 1);
+        assert_eq!(status.leader, Some(10));
+        assert_eq!(status.replicas.len(), 3);
+        assert!(status.replicas.iter().all(|r| r.acked_lsn == 1));
+        assert_eq!(
+            status
+                .replicas
+                .iter()
+                .filter(|r| r.role == Role::Follower)
+                .count(),
+            2
+        );
+    }
+}

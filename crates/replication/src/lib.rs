@@ -1,0 +1,121 @@
+//! # abase-replication
+//!
+//! The WAL-shipping replication plane for ABase (paper §3.2–§3.3): every
+//! tenant partition is served by a **replica group** — one leader and N−1
+//! followers, each a full [`abase_lavastore::Db`] — kept in sync by tailing
+//! the leader's write-ahead log.
+//!
+//! The pieces:
+//!
+//! * [`binlog`] — a [`Binlog`] cursor over the leader's WAL segment files:
+//!   followers poll it for newly appended records and detect when they have
+//!   fallen behind a rotated-away segment (a *gap*, which forces a full
+//!   resynchronization from a leader checkpoint).
+//! * [`group`] — [`ReplicaGroup`]: per-follower acked-LSN tracking,
+//!   configurable [`WriteConcern`] (`Async`, `Quorum`, `All`) on the write
+//!   path and [`ReadConsistency`] (`Eventual`, `ReadYourWrites` via LSN
+//!   fencing, `Leader`) on the read path, plus leader failover that promotes
+//!   the most-caught-up follower without losing any acked write.
+//! * [`failover`] — parallel replica reconstruction after a node failure:
+//!   the surviving members of each affected group re-seed replacement
+//!   replicas concurrently, one stream per surviving node, turning the §3.3
+//!   closed-form recovery model (`abase-core`'s `RecoveryModel`) into
+//!   measured behavior.
+//!
+//! The LSN is simply the storage engine's record sequence number: WAL
+//! shipping preserves it end to end ([`abase_lavastore::Db::apply_replicated`]),
+//! so "follower F has applied LSN x" means F's state is byte-equivalent to
+//! the leader's state at x.
+//!
+//! ```
+//! use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern, ReadConsistency};
+//! use abase_lavastore::DbConfig;
+//!
+//! let base = std::env::temp_dir().join(format!("repl-doc-{}", std::process::id()));
+//! std::fs::remove_dir_all(&base).ok();
+//! let mut group = ReplicaGroup::bootstrap(
+//!     7, &base, &[1, 2, 3],
+//!     GroupConfig { write_concern: WriteConcern::Quorum, db: DbConfig::small_for_tests() },
+//! ).unwrap();
+//! let lsn = group.put(b"user:1", b"alice", None, 0).unwrap();
+//! // Quorum-acked: at least one follower already has the write.
+//! assert!(group.acked_count(lsn) >= 2);
+//! let read = group.read(b"user:1", ReadConsistency::ReadYourWrites(lsn), 0).unwrap();
+//! assert_eq!(read.value.as_deref(), Some(&b"alice"[..]));
+//! drop(group);
+//! std::fs::remove_dir_all(&base).ok();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod binlog;
+pub mod failover;
+pub mod group;
+
+pub use binlog::{Binlog, Poll};
+pub use failover::{
+    reconstruct_parallel, reconstruct_single_source, ReconstructionReport, ReconstructionTask,
+    Throttle,
+};
+pub use group::{
+    GroupConfig, GroupStatus, ReadConsistency, ReplicaGroup, ReplicaId, ReplicaStatus, Role,
+    WriteConcern,
+};
+
+/// Replication log sequence number — the storage engine's record `seq`.
+pub type Lsn = u64;
+
+/// Replication-plane failures.
+#[derive(Debug)]
+pub enum Error {
+    /// The underlying storage engine failed.
+    Storage(abase_lavastore::Error),
+    /// A write concern could not be satisfied with the replicas alive.
+    NoQuorum {
+        /// Acks required (including the leader's own).
+        need: usize,
+        /// Acks obtained.
+        acked: usize,
+    },
+    /// The group currently has no live leader (failover pending).
+    NoLeader,
+    /// Promotion was requested while the leader is still alive.
+    LeaderStillAlive,
+    /// No live follower exists to promote.
+    NoPromotionCandidate,
+    /// The replica id is not a member of this group.
+    UnknownReplica(u32),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::NoQuorum { need, acked } => {
+                write!(f, "write concern unsatisfied: {acked}/{need} acks")
+            }
+            Error::NoLeader => write!(f, "replica group has no live leader"),
+            Error::LeaderStillAlive => write!(f, "cannot promote: leader still alive"),
+            Error::NoPromotionCandidate => write!(f, "no live follower to promote"),
+            Error::UnknownReplica(id) => write!(f, "replica {id} is not a group member"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<abase_lavastore::Error> for Error {
+    fn from(e: abase_lavastore::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+/// Convenience alias for replication results.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -245,7 +245,10 @@ mod tests {
         // An upscale at t=0 stamps the tenant.
         s.decide(1, 0, 1000.0, 2, 900.0);
         // 3 days later usage collapsed — but cooldown forbids downscaling.
-        assert_eq!(s.decide(1, days(3), 1384.0, 2, 100.0), ScalingDecision::Hold);
+        assert_eq!(
+            s.decide(1, days(3), 1384.0, 2, 100.0),
+            ScalingDecision::Hold
+        );
         // 8 days later it is allowed.
         assert!(matches!(
             s.decide(1, days(8), 1384.0, 2, 100.0),
@@ -257,7 +260,7 @@ mod tests {
     fn upscale_ignores_cooldown() {
         let mut s = scaler();
         s.decide(1, 0, 1000.0, 2, 100.0); // downscale at t=0
-        // Usage explodes the next day: upscale must fire immediately.
+                                          // Usage explodes the next day: upscale must fire immediately.
         assert!(matches!(
             s.decide(1, days(1), 153.8, 2, 500.0),
             ScalingDecision::ScaleUp { .. }

@@ -175,7 +175,12 @@ mod tests {
             let before = parts.len();
             parts.sort_unstable();
             parts.dedup();
-            assert_eq!(parts.len(), before, "partition co-located on node {}", node.id);
+            assert_eq!(
+                parts.len(),
+                before,
+                "partition co-located on node {}",
+                node.id
+            );
         }
     }
 

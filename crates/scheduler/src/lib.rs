@@ -23,6 +23,6 @@ pub mod interpool;
 pub mod load;
 pub mod reschedule;
 
-pub use autoscale::{Autoscaler, AutoscaleConfig, ScalingDecision};
+pub use autoscale::{AutoscaleConfig, Autoscaler, ScalingDecision};
 pub use load::{LoadVector, NodeState, PoolState, ReplicaLoad};
 pub use reschedule::{Migration, Rescheduler, ReschedulerConfig};

@@ -215,8 +215,16 @@ impl PoolState {
             ru_cap += node.ru_capacity;
             sto_cap += node.storage_capacity;
         }
-        let r = if ru_cap > 0.0 { ru_load.peak().max(0.0) / ru_cap } else { 0.0 };
-        let s = if sto_cap > 0.0 { sto_load / sto_cap } else { 0.0 };
+        let r = if ru_cap > 0.0 {
+            ru_load.peak().max(0.0) / ru_cap
+        } else {
+            0.0
+        };
+        let s = if sto_cap > 0.0 {
+            sto_load / sto_cap
+        } else {
+            0.0
+        };
         (r, s)
     }
 

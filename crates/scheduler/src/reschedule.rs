@@ -334,7 +334,9 @@ mod tests {
         assert!(more.is_empty());
         // Clearing the flags re-enables migration.
         pool.finish_migrations();
-        assert!(!Rescheduler::default().reschedule_round(&mut pool).is_empty());
+        assert!(!Rescheduler::default()
+            .reschedule_round(&mut pool)
+            .is_empty());
     }
 
     #[test]
@@ -409,7 +411,9 @@ mod tests {
         n1.add_replica(replica(1, 1, 1, 30.0, 300.0));
         n2.add_replica(replica(2, 1, 2, 30.0, 300.0));
         let mut pool = PoolState::new(vec![n1, n2]);
-        assert!(Rescheduler::default().reschedule_round(&mut pool).is_empty());
+        assert!(Rescheduler::default()
+            .reschedule_round(&mut pool)
+            .is_empty());
     }
 
     #[test]
@@ -433,7 +437,11 @@ mod tests {
         for node in &pool.nodes {
             for p in 0..30u64 {
                 let c = node.replicas.iter().filter(|r| r.partition == p).count();
-                assert!(c <= 1, "node {} hosts {c} replicas of partition {p}", node.id);
+                assert!(
+                    c <= 1,
+                    "node {} hosts {c} replicas of partition {p}",
+                    node.id
+                );
             }
         }
         assert!(pool.ru_util_std() < 0.2);

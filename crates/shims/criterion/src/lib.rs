@@ -1,0 +1,208 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no crates.io access, so this shim keeps the
+//! workspace's `benches/` compiling and running with the same source: it
+//! implements `Criterion`, `benchmark_group`, `Bencher::{iter, iter_batched}`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Instead
+//! of criterion's statistical machinery it runs a short calibrated loop and
+//! prints mean ns/iter — enough to compare hot paths run-over-run.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// treats all variants the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup payloads.
+    SmallInput,
+    /// Large per-iteration setup payloads.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Measurement settings shared by a run.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Target measurement duration per benchmark.
+    measure_for: Duration,
+    /// Hard cap on measured iterations.
+    max_iters: u64,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            measure_for: Duration::from_millis(200),
+            max_iters: 1_000_000,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            settings: &self.settings,
+            group: name.to_string(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.settings, name, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    settings: &'a Settings,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (the shim's loop is already short).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.group);
+        run_one(self.settings, &full, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, name: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        settings: settings.clone(),
+        report: None,
+    };
+    f(&mut bencher);
+    match bencher.report {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            println!("  {name:<40} {ns:>12.1} ns/iter ({iters} iters)");
+        }
+        None => println!("  {name:<40} (no measurement)"),
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    settings: Settings,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `routine` in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up briefly, then size the measured loop from the warm-up rate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 10_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = (self.settings.measure_for.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, self.settings.max_iters);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+
+    /// Measure `routine` over inputs produced by `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.settings.measure_for && iters < 1_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters, total));
+    }
+}
+
+/// Define a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. --bench,
+            // --test); none change behaviour here, but --list must reply.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

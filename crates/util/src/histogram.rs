@@ -110,7 +110,10 @@ impl LatencyHistogram {
     /// Panics if layouts differ.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "layout mismatch");
-        assert!((self.min - other.min).abs() < f64::EPSILON, "layout mismatch");
+        assert!(
+            (self.min - other.min).abs() < f64::EPSILON,
+            "layout mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -10,6 +10,7 @@
 //! * [`histogram`] — log-bucketed histograms for latency percentiles (Figure 4).
 //! * [`series`] — fixed-interval time series with the hourly resampling and
 //!   hour-of-day max aggregation used by the rescheduler's load vectors (§5.3).
+//! * [`testdir`] — self-cleaning temp directories shared by every crate's tests.
 
 #![deny(missing_docs)]
 
@@ -17,8 +18,10 @@ pub mod clock;
 pub mod histogram;
 pub mod series;
 pub mod stats;
+pub mod testdir;
 
 pub use clock::{SimClock, SimTime, Ticks};
 pub use histogram::LatencyHistogram;
 pub use series::{hour_of_day_profile, Aggregation, TimeSeries};
 pub use stats::{percentile, percentile_sorted, Ewma, MovingAverage, OnlineStats, WindowedRate};
+pub use testdir::TestDir;

@@ -132,7 +132,11 @@ impl TimeSeries {
     pub fn zip_add(&self, other: &TimeSeries) -> TimeSeries {
         assert_eq!(self.start, other.start, "series start mismatch");
         assert_eq!(self.interval, other.interval, "series interval mismatch");
-        assert_eq!(self.values.len(), other.values.len(), "series length mismatch");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "series length mismatch"
+        );
         let values = self
             .values
             .iter()

@@ -1,0 +1,75 @@
+//! Self-cleaning temporary directories for tests and examples.
+//!
+//! Every crate in the workspace needs a scratch directory that is unique per
+//! test (process × thread × tag) and vanishes when the test ends, pass or
+//! fail. One shared implementation beats the previous copy in every test
+//! module: a fix here (naming, cleanup semantics) lands everywhere at once.
+
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+
+/// A temp-dir handle that removes its tree on drop.
+///
+/// The directory itself is *not* created — components like `Db::open` create
+/// their own directories — but any pre-existing tree at the path is removed
+/// at construction so a crashed earlier run cannot leak state in.
+#[derive(Debug)]
+pub struct TestDir(PathBuf);
+
+impl TestDir {
+    /// A unique scratch path under the system temp dir, namespaced by `tag`,
+    /// process id, and thread id (tests in one binary run concurrently).
+    pub fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "abase-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&path).ok();
+        Self(path)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Deref for TestDir {
+    type Target = Path;
+    fn deref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl AsRef<Path> for TestDir {
+    fn as_ref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let path = {
+            let dir = TestDir::new("testdir-self");
+            std::fs::create_dir_all(dir.path()).unwrap();
+            std::fs::write(dir.join("f"), b"x").unwrap();
+            assert!(dir.path().exists());
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "drop must remove the tree");
+        let a = TestDir::new("testdir-a");
+        let b = TestDir::new("testdir-b");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -73,9 +73,15 @@ mod tests {
     fn classify_covers_quadrants() {
         let th = DEFAULT_LARGE_THRESHOLD;
         assert_eq!(QueueClass::classify(false, 100, th), QueueClass::SmallRead);
-        assert_eq!(QueueClass::classify(false, th + 1, th), QueueClass::LargeRead);
+        assert_eq!(
+            QueueClass::classify(false, th + 1, th),
+            QueueClass::LargeRead
+        );
         assert_eq!(QueueClass::classify(true, th, th), QueueClass::SmallWrite);
-        assert_eq!(QueueClass::classify(true, 1 << 20, th), QueueClass::LargeWrite);
+        assert_eq!(
+            QueueClass::classify(true, 1 << 20, th),
+            QueueClass::LargeWrite
+        );
     }
 
     #[test]

@@ -146,7 +146,11 @@ impl<T> DualWfq<T> {
     ///
     /// `is_write_class` selects which Rule 2 limits apply. Returns the
     /// scheduled requests in service order and the RU actually consumed.
-    pub fn drain_cpu(&mut self, budget: CpuTickBudget, is_write_class: bool) -> (Vec<WfqItem<T>>, f64) {
+    pub fn drain_cpu(
+        &mut self,
+        budget: CpuTickBudget,
+        is_write_class: bool,
+    ) -> (Vec<WfqItem<T>>, f64) {
         let max_count = if is_write_class {
             self.config.max_writes_per_tick
         } else {
@@ -387,7 +391,11 @@ mod tests {
             q.push_cpu(item(2, 1.0));
         }
         let (scheduled, used) = q.drain_cpu(CpuTickBudget { ru: 20.0 }, false);
-        let t1_ru: f64 = scheduled.iter().filter(|i| i.tenant == 1).map(|i| i.cost).sum();
+        let t1_ru: f64 = scheduled
+            .iter()
+            .filter(|i| i.tenant == 1)
+            .map(|i| i.cost)
+            .sum();
         assert!(t1_ru <= 0.9 * 20.0 + 1.0, "tenant 1 used {t1_ru} RU");
         assert!(scheduled.iter().any(|i| i.tenant == 2), "tenant 2 starved");
         assert!(used <= 20.0 + 1.0);

@@ -166,7 +166,10 @@ impl<T> WfqQueue<T> {
     /// temporarily set aside and restored). Used for Rule 3's 90 % single-tenant
     /// cap: when one tenant has consumed its share for this tick, the scheduler
     /// skips it but must not reorder or re-price its queued work.
-    pub fn pop_eligible(&mut self, mut eligible: impl FnMut(TenantId) -> bool) -> Option<WfqItem<T>> {
+    pub fn pop_eligible(
+        &mut self,
+        mut eligible: impl FnMut(TenantId) -> bool,
+    ) -> Option<WfqItem<T>> {
         let mut set_aside = Vec::new();
         let mut found = None;
         while let Some(entry) = self.heap.pop() {

@@ -145,10 +145,16 @@ mod tests {
         let before = g.take(10_000);
         g.shift_window(5_000);
         let after = g.take(10_000);
-        let hot_before: std::collections::HashSet<usize> =
-            before.iter().filter(|r| r.key_rank < 100).map(|r| r.key_rank).collect();
+        let hot_before: std::collections::HashSet<usize> = before
+            .iter()
+            .filter(|r| r.key_rank < 100)
+            .map(|r| r.key_rank)
+            .collect();
         // After the shift, the most frequent ranks moved by ~5000.
-        let shifted_hot = after.iter().filter(|r| (5_000..5_100).contains(&r.key_rank)).count();
+        let shifted_hot = after
+            .iter()
+            .filter(|r| (5_000..5_100).contains(&r.key_rank))
+            .count();
         assert!(shifted_hot > 1000, "shifted_hot={shifted_hot}");
         assert!(!hot_before.is_empty());
     }

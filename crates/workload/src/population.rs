@@ -59,8 +59,7 @@ impl TenantPopulation {
             // Read ratio rises with the RU/storage ratio (lower-right of the
             // Fig. 3 scatter is dark = read-heavy), with noise, clamped.
             let log_ratio = (ru / storage).ln();
-            let read_ratio =
-                sigmoid(0.9 * log_ratio - 0.4 + 0.8 * standard_normal(&mut rng));
+            let read_ratio = sigmoid(0.9 * log_ratio - 0.4 + 0.8 * standard_normal(&mut rng));
             // Cache hit ratio: most tenants cache very well (p50 ≈ 93.5 %),
             // with a long tail of poorly-caching tenants. Beta-like shape via
             // a transformed uniform.
@@ -96,11 +95,7 @@ impl TenantPopulation {
     }
 
     /// Pearson correlation between two tenant metrics.
-    pub fn correlation(
-        &self,
-        a: impl Fn(&Tenant) -> f64,
-        b: impl Fn(&Tenant) -> f64,
-    ) -> f64 {
+    pub fn correlation(&self, a: impl Fn(&Tenant) -> f64, b: impl Fn(&Tenant) -> f64) -> f64 {
         let xs: Vec<f64> = self.tenants.iter().map(a).collect();
         let ys: Vec<f64> = self.tenants.iter().map(b).collect();
         let n = xs.len() as f64;
@@ -181,8 +176,16 @@ mod tests {
     #[test]
     fn partitions_scale_with_size() {
         let p = TenantPopulation::generate(2000, 5);
-        let big = p.tenants.iter().max_by(|a, b| a.ru.partial_cmp(&b.ru).unwrap()).unwrap();
-        let small = p.tenants.iter().min_by(|a, b| a.ru.partial_cmp(&b.ru).unwrap()).unwrap();
+        let big = p
+            .tenants
+            .iter()
+            .max_by(|a, b| a.ru.partial_cmp(&b.ru).unwrap())
+            .unwrap();
+        let small = p
+            .tenants
+            .iter()
+            .min_by(|a, b| a.ru.partial_cmp(&b.ru).unwrap())
+            .unwrap();
         assert!(big.partitions > small.partitions);
         assert!(p.tenants.iter().all(|t| t.partitions >= 1));
     }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example autoscaling`
 
-use abase::scheduler::{Autoscaler, AutoscaleConfig, ScalingDecision};
+use abase::scheduler::{AutoscaleConfig, Autoscaler, ScalingDecision};
 use abase::util::clock::days;
 use abase::util::TimeSeries;
 use abase::workload::series::HOUR;

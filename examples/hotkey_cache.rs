@@ -44,11 +44,11 @@ fn main() {
 
     let mut clock = 0u64;
     let phase = |label: &str,
-                     plane: &mut ProxyPlane,
-                     gen: &mut RequestGen,
-                     seconds: u64,
-                     qps: u64,
-                     clock: &mut u64| {
+                 plane: &mut ProxyPlane,
+                 gen: &mut RequestGen,
+                 seconds: u64,
+                 qps: u64,
+                 clock: &mut u64| {
         let (mut hits, mut forwards) = (0u64, 0u64);
         for _ in 0..seconds {
             for i in 0..qps {
@@ -58,7 +58,13 @@ fn main() {
                     ProxyDecision::CacheHit { .. } => hits += 1,
                     ProxyDecision::Forward { proxy } => {
                         forwards += 1;
-                        plane.on_read_complete(proxy, spec.key_rank as u64, spec.value_bytes, false, now);
+                        plane.on_read_complete(
+                            proxy,
+                            spec.key_rank as u64,
+                            spec.value_bytes,
+                            false,
+                            now,
+                        );
                     }
                     ProxyDecision::Rejected { .. } => unreachable!(),
                 }
@@ -82,15 +88,36 @@ fn main() {
     };
 
     println!("phase                        cache effectiveness");
-    phase("normal zipf traffic", &mut plane, &mut gen, 20, 20_000, &mut clock);
+    phase(
+        "normal zipf traffic",
+        &mut plane,
+        &mut gen,
+        20,
+        20_000,
+        &mut clock,
+    );
 
     // Flash crowd: three viral keys take over 60 % of traffic.
     gen.set_skew(1.8);
-    phase("viral event (skew 1.8)", &mut plane, &mut gen, 20, 80_000, &mut clock);
+    phase(
+        "viral event (skew 1.8)",
+        &mut plane,
+        &mut gen,
+        20,
+        80_000,
+        &mut clock,
+    );
 
     // Long tail of the event: traffic still hot, TTLs start lapsing; active
     // refresh keeps the hit ratio from sawtoothing.
-    phase("sustained hot keys + TTLs", &mut plane, &mut gen, 40, 80_000, &mut clock);
+    phase(
+        "sustained hot keys + TTLs",
+        &mut plane,
+        &mut gen,
+        40,
+        80_000,
+        &mut clock,
+    );
 
     let stats = plane.cache_stats();
     println!(

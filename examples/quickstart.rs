@@ -32,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.execute(1, &set("profile:42", "tenant-one's data"), 0)?;
     engine.execute(2, &set("profile:42", "tenant-two's data"), 0)?;
     for tenant in [1u32, 2] {
-        let out = engine.execute(tenant, &Command::Get { key: "profile:42".into() }, 0)?;
+        let out = engine.execute(
+            tenant,
+            &Command::Get {
+                key: "profile:42".into(),
+            },
+            0,
+        )?;
         println!("tenant {tenant} reads profile:42 -> {:?}", out.reply);
     }
 
@@ -46,12 +52,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         0,
     )?;
-    let before = engine.execute(1, &Command::Get { key: "ad-join:event".into() }, secs(3 * 3600 - 1))?;
-    let after = engine.execute(1, &Command::Get { key: "ad-join:event".into() }, secs(3 * 3600 + 1))?;
+    let before = engine.execute(
+        1,
+        &Command::Get {
+            key: "ad-join:event".into(),
+        },
+        secs(3 * 3600 - 1),
+    )?;
+    let after = engine.execute(
+        1,
+        &Command::Get {
+            key: "ad-join:event".into(),
+        },
+        secs(3 * 3600 + 1),
+    )?;
     println!(
         "ad payload 1s before TTL: {}, 1s after: {}",
-        if matches!(before.reply, RespValue::Bulk(Some(_))) { "present" } else { "gone" },
-        if matches!(after.reply, RespValue::Bulk(Some(_))) { "present" } else { "gone" },
+        if matches!(before.reply, RespValue::Bulk(Some(_))) {
+            "present"
+        } else {
+            "gone"
+        },
+        if matches!(after.reply, RespValue::Bulk(Some(_))) {
+            "present"
+        } else {
+            "gone"
+        },
     );
 
     // --- Hash commands: the complex reads of §4.1. ---
@@ -67,9 +93,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         0,
     )?;
-    let hlen = engine.execute(1, &Command::HLen { key: "video:1001".into() }, 0)?;
-    let all = engine.execute(1, &Command::HGetAll { key: "video:1001".into() }, 0)?;
-    println!("video:1001 has {:?} fields; HGETALL returned {} bytes", hlen.reply, all.bytes_returned);
+    let hlen = engine.execute(
+        1,
+        &Command::HLen {
+            key: "video:1001".into(),
+        },
+        0,
+    )?;
+    let all = engine.execute(
+        1,
+        &Command::HGetAll {
+            key: "video:1001".into(),
+        },
+        0,
+    )?;
+    println!(
+        "video:1001 has {:?} fields; HGETALL returned {} bytes",
+        hlen.reply, all.bytes_returned
+    );
 
     // --- Push the engine through flush + compaction and read back. ---
     for i in 0..20_000u32 {
@@ -77,7 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     engine.db().flush()?;
     let compactions = engine.db().compact_to_quiescence(0)?;
-    let check = engine.execute(1, &Command::Get { key: "bulk:013337".into() }, 0)?;
+    let check = engine.execute(
+        1,
+        &Command::Get {
+            key: "bulk:013337".into(),
+        },
+        0,
+    )?;
     println!(
         "after {} compaction rounds: bulk:013337 -> {:?} (cost {} block I/Os)",
         compactions, check.reply, check.io_ops

@@ -19,7 +19,9 @@ fn strip(pool: &PoolState, which: fn(&NodeState) -> f64) -> String {
 
 fn main() {
     let mut pool = PoolState::new(
-        (0..20).map(|i| NodeState::new(i, 1_000.0, 10_000.0)).collect(),
+        (0..20)
+            .map(|i| NodeState::new(i, 1_000.0, 10_000.0))
+            .collect(),
     );
     // Node 0: CPU-hungry tenants (search/e-commerce shapes from Table 1).
     for id in 0..30u64 {

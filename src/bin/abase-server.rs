@@ -14,13 +14,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:7379".to_string());
     let dir = args.next().unwrap_or_else(|| "./abase-data".to_string());
     let engine = Arc::new(TableEngine::open(&dir, DbConfig::default())?);
-    let server = RespServer::bind(engine, &addr)?;
-    println!("abase-server listening on {} (data in {dir})", server.local_addr()?);
-    // Drive virtual time from the wall clock (microseconds since start).
+    let server = RespServer::bind(Arc::clone(&engine), &addr)?;
+    println!(
+        "abase-server listening on {} (data in {dir})",
+        server.local_addr()?
+    );
+    // Drive virtual time from the wall clock (microseconds since start), and
+    // flush the WAL to the OS on the same cadence: appends sit in a buffered
+    // writer, so without this a SIGKILL could lose an unbounded number of
+    // acknowledged writes. This bounds the loss window to one tick (fsync
+    // per append is the `sync_wal` config for machines that need zero loss).
     let clock = server.clock();
     let started = std::time::Instant::now();
     std::thread::spawn(move || loop {
         clock.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let _ = engine.db().flush_wal();
         std::thread::sleep(std::time::Duration::from_millis(100));
     });
     server.run()?;

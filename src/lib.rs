@@ -10,6 +10,7 @@
 //! |---|---|---|
 //! | [`core`] | `abase-core` | tenants, DataNodes, proxy plane, meta server, cluster simulator |
 //! | [`lavastore`] | `abase-lavastore` | the LSM storage engine substrate |
+//! | [`replication`] | `abase-replication` | WAL-shipping replica groups: write concerns, read consistency levels, failover, parallel reconstruction |
 //! | [`cache`] | `abase-cache` | LRU, SA-LRU (node), AU-LRU (proxy) |
 //! | [`wfq`] | `abase-wfq` | dual-layer weighted fair queueing |
 //! | [`quota`] | `abase-quota` | cache-aware RUs, token buckets, admission |
@@ -45,6 +46,7 @@ pub use abase_forecast as forecast;
 pub use abase_lavastore as lavastore;
 pub use abase_proto as proto;
 pub use abase_quota as quota;
+pub use abase_replication as replication;
 pub use abase_scheduler as scheduler;
 pub use abase_util as util;
 pub use abase_wfq as wfq;

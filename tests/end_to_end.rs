@@ -6,35 +6,18 @@ use abase::core::node::{DataNodeConfig, DataNodeSim};
 use abase::core::proxy::ProxyPlaneConfig;
 use abase::lavastore::DbConfig;
 use abase::proto::{Command, RespValue};
-use abase::scheduler::{Autoscaler, AutoscaleConfig, ScalingDecision};
+use abase::scheduler::{AutoscaleConfig, Autoscaler, ScalingDecision};
 use abase::util::clock::days;
+use abase::util::TestDir;
 use abase::util::TimeSeries;
 use abase::workload::{KeyspaceConfig, TrafficShape};
-
-struct TestDir(std::path::PathBuf);
-impl TestDir {
-    fn new(tag: &str) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "abase-e2e-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::remove_dir_all(&path).ok();
-        Self(path)
-    }
-}
-impl Drop for TestDir {
-    fn drop(&mut self) {
-        std::fs::remove_dir_all(&self.0).ok();
-    }
-}
 
 /// RESP bytes in → engine → RESP bytes out, across tenants and a restart.
 #[test]
 fn resp_wire_to_storage_and_back() {
     let dir = TestDir::new("wire");
     {
-        let engine = TableEngine::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+        let engine = TableEngine::open(dir.path(), DbConfig::small_for_tests()).unwrap();
         // A client sends raw RESP for: SET k v EX 100 / GET k.
         let wire = b"*5\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n$2\r\nEX\r\n$3\r\n100\r\n".to_vec();
         let (value, _) = RespValue::parse(&wire).unwrap().unwrap();
@@ -42,7 +25,10 @@ fn resp_wire_to_storage_and_back() {
         let out = engine.execute(9, &cmd, 0).unwrap();
         assert_eq!(out.reply.to_bytes(), b"+OK\r\n");
         let get = Command::from_resp(
-            &RespValue::parse(b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n").unwrap().unwrap().0,
+            &RespValue::parse(b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n")
+                .unwrap()
+                .unwrap()
+                .0,
         )
         .unwrap();
         let out = engine.execute(9, &get, 50_000_000).unwrap();
@@ -52,7 +38,7 @@ fn resp_wire_to_storage_and_back() {
         assert_eq!(out.reply, RespValue::Bulk(None));
     }
     // Restart: WAL replay keeps the data (within its TTL).
-    let engine = TableEngine::open(&dir.0, DbConfig::small_for_tests()).unwrap();
+    let engine = TableEngine::open(dir.path(), DbConfig::small_for_tests()).unwrap();
     let get = Command::Get { key: "k".into() };
     assert_eq!(
         engine.execute(9, &get, 50_000_000).unwrap().reply,
@@ -140,8 +126,7 @@ fn growth_triggers_scale_up_and_split() {
     // 30 days of growth toward 2.5k RU/s.
     let usage: Vec<f64> = (0..720).map(|t| 800.0 + 2.2 * t as f64).collect();
     let series = TimeSeries::new(0, HOUR, usage);
-    let (decision, output) =
-        autoscaler.forecast_and_decide(1, days(30), &series, None, 2_600.0, 4);
+    let (decision, output) = autoscaler.forecast_and_decide(1, days(30), &series, None, 2_600.0, 4);
     assert!(output.peak > 2_300.0, "peak={}", output.peak);
     match decision {
         ScalingDecision::ScaleUp {

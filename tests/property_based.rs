@@ -163,8 +163,7 @@ fn arb_resp(depth: u32) -> impl Strategy<Value = RespValue> {
         "[a-zA-Z0-9 ]{0,20}".prop_map(RespValue::Simple),
         "[a-zA-Z0-9 ]{0,20}".prop_map(RespValue::Error),
         any::<i64>().prop_map(RespValue::Integer),
-        prop::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|v| RespValue::Bulk(Some(v.into()))),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|v| RespValue::Bulk(Some(v.into()))),
         Just(RespValue::Bulk(None)),
         Just(RespValue::Array(None)),
     ];
