@@ -46,10 +46,7 @@ fn bench_concern(base: &Path, concern: WriteConcern, name: &'static str) -> Conc
         1,
         &dir,
         &[1, 2, 3],
-        GroupConfig {
-            write_concern: concern,
-            db: DbConfig::default(),
-        },
+        GroupConfig::new(concern, DbConfig::default()),
     )
     .expect("bootstrap group");
     let value = vec![7u8; VALUE_BYTES];

@@ -1,0 +1,83 @@
+//! Chaos CLI: `abase-chaos --episodes 50 --seed 0 [--ticks 30] [--quiet]`.
+//!
+//! Runs seeded fault-injection episodes against a replicated cluster and
+//! exits non-zero if any invariant broke, printing a replayable
+//! `CHAOS_SEED=<n>` line per failing episode.
+
+use abase_chaos::{ChaosConfig, ChaosRunner};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: abase-chaos [--episodes N] [--seed BASE] [--ticks T] \
+         [--partitions P] [--nodes M] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut episodes: u64 = 50;
+    let mut seed: u64 = 0;
+    let mut quiet = false;
+    let mut config = ChaosConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} expects a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--episodes" => episodes = value("--episodes"),
+            "--seed" => seed = value("--seed"),
+            "--ticks" => config.ticks = value("--ticks"),
+            "--partitions" => config.partitions = value("--partitions"),
+            "--nodes" => config.nodes = value("--nodes") as u32,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let runner = ChaosRunner::new(config);
+    let started = Instant::now();
+    let mut failures = 0u64;
+    for i in 0..episodes {
+        let report = runner.run_episode(seed + i);
+        if report.ok() {
+            if !quiet {
+                println!(
+                    "episode seed={} ok: {} acked / {} failed writes, {} reads, \
+                     {} kills, {} resyncs, {} faults",
+                    report.seed,
+                    report.writes_acked,
+                    report.writes_failed,
+                    report.reads,
+                    report.kills,
+                    report.resyncs,
+                    report.faults_armed,
+                );
+            }
+        } else {
+            failures += 1;
+            for violation in &report.violations {
+                eprintln!("episode seed={}: VIOLATION: {violation}", report.seed);
+            }
+            eprintln!(
+                "episode seed={} FAILED — replay with CHAOS_SEED={}",
+                report.seed, report.seed
+            );
+        }
+    }
+    println!(
+        "chaos: {}/{episodes} episodes green in {:.1?} (base seed {seed})",
+        episodes - failures,
+        started.elapsed()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

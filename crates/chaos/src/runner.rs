@@ -1,0 +1,705 @@
+//! The chaos runner: seeded episodes of faulty life for a replicated cluster.
+//!
+//! One **episode** = fresh [`ReplicatedCluster`] + mixed tenant workload
+//! (Table-1 profiles via `abase-workload`) + one seed-determined
+//! [`FaultPlan`], followed by invariant checks:
+//!
+//! 1. **Zero acked-write loss** — every write acknowledged under the group
+//!    write concern is still readable (at-or-after its op) from the leader
+//!    after all faults and failovers.
+//! 2. **No split brain** — every group has exactly one live leader and the
+//!    MetaServer routes to it.
+//! 3. **LSN monotonicity** — a replica's applied LSN never goes backwards
+//!    except across an explicit full resync (counted) or replacement.
+//! 4. **Read-your-writes fencing** — a fenced read at an acked write's LSN
+//!    never observes earlier state.
+//! 5. **Recovery bandwidth** — parallel reconstruction never exceeds the
+//!    §3.3 multi-node budget (`per-node bandwidth × distinct sources`).
+//! 6. **Bounded-fault liveness** — a write-concern commit never fails while
+//!    a quorum of replicas is alive and every active fault is transient
+//!    (this is the invariant that catches reverting the `WAIT`-timeout fix).
+//!
+//! Violations carry a replayable `CHAOS_SEED=<n>` line; pinned regression
+//! seeds live in the workspace's `tests/chaos.rs`.
+
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use abase_core::cluster::{FailoverOutcome, ReplicatedCluster, ReplicatedClusterConfig};
+use abase_lavastore::DbConfig;
+use abase_replication::{Error as ReplError, ReadConsistency, WriteConcern};
+use abase_util::failpoint::{self, FaultAction};
+use abase_util::TestDir;
+use abase_workload::{KeyspaceConfig, LogNormal, RequestGen, TABLE1_PROFILES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Episode shape and cluster sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// DataNodes in the cluster.
+    pub nodes: u32,
+    /// Replicated partitions (each mapped to a Table-1 workload profile).
+    pub partitions: u64,
+    /// Replicas per partition.
+    pub replication_factor: usize,
+    /// Write concern under test (acked-durability invariants assume
+    /// `Quorum` or `All`).
+    pub write_concern: WriteConcern,
+    /// Ticks per episode.
+    pub ticks: u64,
+    /// Requests per partition per tick.
+    pub ops_per_tick: usize,
+    /// Modeled per-node disk bandwidth for reconstruction (bytes/second);
+    /// the §3.3 invariant bounds measured recovery bandwidth against it.
+    pub recovery_bandwidth: f64,
+    /// Commit retry budget (see `GroupConfig::wait_timeout`).
+    pub wait_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 6,
+            partitions: 4,
+            replication_factor: 3,
+            write_concern: WriteConcern::Quorum,
+            ticks: 30,
+            ops_per_tick: 8,
+            recovery_bandwidth: 24e6,
+            wait_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Durability bookkeeping for one key.
+#[derive(Debug, Default)]
+struct KeyState {
+    /// Highest op id acknowledged under the write concern.
+    last_acked_op: Option<u64>,
+    /// Every op id ever written to this key (acked or attempted).
+    written_ops: BTreeSet<u64>,
+}
+
+/// What one episode did and whether its invariants held.
+#[derive(Debug, Clone)]
+pub struct EpisodeReport {
+    /// The episode's seed (replay with `--seed <n> --episodes 1`).
+    pub seed: u64,
+    /// Writes acknowledged under the write concern.
+    pub writes_acked: u64,
+    /// Writes that failed (injected faults, quorum loss windows).
+    pub writes_failed: u64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Fenced read-your-writes checks performed.
+    pub ryw_checks: u64,
+    /// Nodes killed (direct events plus torn-tail / mid-resync escalations).
+    pub kills: u64,
+    /// Full resyncs observed across all groups by episode end.
+    pub resyncs: u64,
+    /// Fault events armed from the plan.
+    pub faults_armed: usize,
+    /// Invariant violations (empty = episode green).
+    pub violations: Vec<String>,
+}
+
+impl EpisodeReport {
+    /// Did every invariant hold?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate over a run of episodes.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Per-episode outcomes, in seed order.
+    pub episodes: Vec<EpisodeReport>,
+}
+
+impl ChaosReport {
+    /// Seeds whose episodes violated an invariant.
+    pub fn failing_seeds(&self) -> Vec<u64> {
+        self.episodes
+            .iter()
+            .filter(|e| !e.ok())
+            .map(|e| e.seed)
+            .collect()
+    }
+}
+
+/// Per-episode fault-attribution state: which partitions currently carry an
+/// armed fault that explains a write/tick error.
+#[derive(Debug, Default)]
+struct ActiveFaults {
+    /// Partitions whose leader WAL was torn (poisoned until the leader dies).
+    torn: BTreeSet<u64>,
+    /// Partitions with a pending checkpoint-failure (mid-resync death).
+    ckpt_fail: BTreeSet<u64>,
+    /// Partitions with a pending transient flush failure.
+    flush_fail: BTreeSet<u64>,
+}
+
+/// Runs seeded chaos episodes and checks invariants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosRunner {
+    /// Episode configuration.
+    pub config: ChaosConfig,
+}
+
+impl ChaosRunner {
+    /// A runner over `config`.
+    pub fn new(config: ChaosConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run `episodes` episodes with seeds `base_seed..base_seed + episodes`.
+    ///
+    /// Episodes share the process-global fail-point registry and therefore
+    /// run strictly sequentially; callers embedding the runner in a test
+    /// binary must not run two runners concurrently.
+    pub fn run(&self, base_seed: u64, episodes: u64) -> ChaosReport {
+        let mut report = ChaosReport::default();
+        for i in 0..episodes {
+            report.episodes.push(self.run_episode(base_seed + i));
+        }
+        report
+    }
+
+    /// Run one seeded episode and check every invariant.
+    pub fn run_episode(&self, seed: u64) -> EpisodeReport {
+        // Clean registry in, clean registry out: a panicking episode must not
+        // leak rules into the next (or into unrelated tests).
+        failpoint::disable();
+        failpoint::enable();
+        let report = self.episode_inner(seed);
+        failpoint::disable();
+        report
+    }
+
+    fn episode_inner(&self, seed: u64) -> EpisodeReport {
+        let cfg = &self.config;
+        let dir = TestDir::new(&format!("chaos-{seed}"));
+        let mut cluster = ReplicatedCluster::new(
+            dir.path(),
+            cfg.nodes,
+            ReplicatedClusterConfig {
+                replication_factor: cfg.replication_factor,
+                write_concern: cfg.write_concern,
+                db: DbConfig::small_for_tests(),
+                recovery_bandwidth: Some(cfg.recovery_bandwidth),
+                wait_timeout: cfg.wait_timeout,
+            },
+        );
+        let mut gens: Vec<RequestGen> = Vec::new();
+        for p in 0..cfg.partitions {
+            let tenant = (p % 3 + 1) as u32;
+            cluster
+                .create_partition(tenant, p)
+                .expect("partition placement");
+            // Mixed tenant workload: cycle diverse Table-1 profiles (pure
+            // reads, write-heavy joiner, mixed dedup), clamped to chaos-sized
+            // values and enough writes to exercise durability.
+            let profile = &TABLE1_PROFILES[[0usize, 4, 5][(p % 3) as usize]];
+            gens.push(RequestGen::new(
+                KeyspaceConfig {
+                    n_keys: 256,
+                    zipf_s: 0.9,
+                    read_ratio: profile.read_ratio.min(0.5),
+                    value_size: LogNormal::from_median_p90(
+                        (profile.mean_kv_bytes as f64).min(384.0),
+                        2.0,
+                    ),
+                    key_prefix: format!("p{p}"),
+                },
+                seed ^ (p.wrapping_mul(0x9E37_79B9)),
+            ));
+        }
+        let plan = FaultPlan::generate(seed, cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE_F00D);
+        let mut report = EpisodeReport {
+            seed,
+            writes_acked: 0,
+            writes_failed: 0,
+            reads: 0,
+            ryw_checks: 0,
+            kills: 0,
+            resyncs: 0,
+            faults_armed: plan.events.len(),
+            violations: Vec::new(),
+        };
+        let mut active = ActiveFaults::default();
+        let mut keys: BTreeMap<u64, BTreeMap<String, KeyState>> = BTreeMap::new();
+        let mut watermarks: BTreeMap<(u64, u32), (u64, u64)> = BTreeMap::new();
+        let mut op_counter = 0u64;
+
+        for tick in 0..cfg.ticks {
+            let now = tick * 100_000;
+            for event in plan.events_at(tick) {
+                self.arm_event(event, &mut cluster, &mut active, &mut rng, &mut report);
+            }
+            for p in 0..cfg.partitions {
+                for _ in 0..cfg.ops_per_tick {
+                    let spec = gens[p as usize].next_request();
+                    if spec.is_write {
+                        op_counter += 1;
+                        let op = op_counter;
+                        let value = encode_value(op, spec.value_bytes.min(512));
+                        let state = keys.entry(p).or_default().entry(spec.key.clone());
+                        let state = state.or_default();
+                        state.written_ops.insert(op);
+                        match cluster.write(p, spec.key.as_bytes(), &value, now) {
+                            Ok(lsn) => {
+                                report.writes_acked += 1;
+                                state.last_acked_op = Some(op);
+                                if rng.gen_bool(0.25) {
+                                    report.ryw_checks += 1;
+                                    check_ryw(
+                                        &mut cluster,
+                                        p,
+                                        &spec.key,
+                                        op,
+                                        lsn,
+                                        now,
+                                        &mut report,
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                report.writes_failed += 1;
+                                self.on_write_error(p, e, &mut cluster, &mut active, &mut report);
+                            }
+                        }
+                    } else {
+                        report.reads += 1;
+                        if let Err(e) =
+                            cluster.read(p, spec.key.as_bytes(), ReadConsistency::Eventual, now)
+                        {
+                            report
+                                .violations
+                                .push(format!("eventual read failed on p{p} at tick {tick}: {e}"));
+                        }
+                    }
+                }
+            }
+            if let Err(e) = cluster.tick() {
+                self.on_tick_error(e, &mut cluster, &mut active, &mut report);
+            }
+            self.check_tick_invariants(&cluster, &mut watermarks, tick, &mut report);
+        }
+
+        // Quiesce: drop every remaining rule and let followers converge.
+        failpoint::clear();
+        active = ActiveFaults::default();
+        let _ = &active;
+        for _ in 0..4 {
+            if let Err(e) = cluster.tick() {
+                report
+                    .violations
+                    .push(format!("tick failed after faults were cleared: {e}"));
+            }
+        }
+        self.check_final_invariants(&mut cluster, &keys, &mut report);
+        report
+    }
+
+    /// Install a plan event into the cluster / fail-point registry.
+    fn arm_event(
+        &self,
+        event: &FaultEvent,
+        cluster: &mut ReplicatedCluster,
+        active: &mut ActiveFaults,
+        rng: &mut StdRng,
+        report: &mut EpisodeReport,
+    ) {
+        match event.kind {
+            FaultKind::KillLeader { partition } => {
+                if let Some(node) = cluster.meta().route(partition) {
+                    self.kill(cluster, node, active, report);
+                }
+            }
+            FaultKind::KillRandomNode => {
+                let live = cluster.live_nodes();
+                if live.len() > self.config.replication_factor {
+                    let victim = live[rng.gen_range(0..live.len())];
+                    self.kill(cluster, victim, active, report);
+                }
+            }
+            FaultKind::FollowerStall { partition, polls } => {
+                for dir in follower_dirs(cluster, partition) {
+                    failpoint::install("group.pump", Some(&dir), FaultAction::Stall, 0, polls);
+                }
+            }
+            FaultKind::BinlogGap { partition } => {
+                if let Some(dir) = leader_dir(cluster, partition) {
+                    failpoint::install("binlog.poll", Some(&dir), FaultAction::Gap, 0, 1);
+                }
+            }
+            FaultKind::TornLeaderTail {
+                partition,
+                keep_bytes,
+            } => {
+                if let Some(dir) = leader_dir(cluster, partition) {
+                    failpoint::install(
+                        "wal.append",
+                        Some(&dir),
+                        FaultAction::TornWrite { keep_bytes },
+                        0,
+                        1,
+                    );
+                    active.torn.insert(partition);
+                }
+            }
+            FaultKind::FlushFail { partition } => {
+                if let Some(dir) = leader_dir(cluster, partition) {
+                    failpoint::install("wal.flush", Some(&dir), FaultAction::Error, 0, 1);
+                    active.flush_fail.insert(partition);
+                }
+            }
+            FaultKind::FsyncDelay { partition, ms } => {
+                if let Some(dir) = leader_dir(cluster, partition) {
+                    failpoint::install("wal.flush", Some(&dir), FaultAction::DelayMs(ms), 0, 3);
+                }
+            }
+            FaultKind::MidResyncLeaderDeath {
+                partition,
+                after_chunks,
+            } => {
+                if let Some(dir) = leader_dir(cluster, partition) {
+                    failpoint::install("binlog.poll", Some(&dir), FaultAction::Gap, 0, 1);
+                    failpoint::install(
+                        "db.checkpoint",
+                        Some(&dir),
+                        FaultAction::Error,
+                        after_chunks,
+                        1,
+                    );
+                    active.ckpt_fail.insert(partition);
+                }
+            }
+        }
+    }
+
+    /// Kill a node through the MetaServer path and check the §3.3 recovery
+    /// invariant on the resulting reconstruction.
+    fn kill(
+        &self,
+        cluster: &mut ReplicatedCluster,
+        node: u32,
+        active: &mut ActiveFaults,
+        report: &mut EpisodeReport,
+    ) {
+        // Chaos rules must not leak into the failover machinery itself: the
+        // plan's faults target steady-state traffic, and a rule firing inside
+        // reconstruction would make attribution ambiguous. The attribution
+        // sets are cleared with the rules: every armed fault here surfaces
+        // (and is removed) at the same call that fires it, so a lingering
+        // entry always refers to a not-yet-fired rule that no longer exists —
+        // keeping it would let a later *genuine* bug masquerade as injected.
+        failpoint::clear();
+        *active = ActiveFaults::default();
+        match cluster.kill_node(node) {
+            Ok(outcome) => {
+                report.kills += 1;
+                self.check_recovery(&outcome, report);
+            }
+            Err(e) => report
+                .violations
+                .push(format!("kill_node({node}) failed: {e}")),
+        }
+    }
+
+    /// Invariant 5: measured recovery bandwidth within the §3.3 budget.
+    fn check_recovery(&self, outcome: &FailoverOutcome, report: &mut EpisodeReport) {
+        let Some(rec) = &outcome.reconstruction else {
+            return;
+        };
+        if rec.distinct_sources > rec.replicas.max(1) {
+            report.violations.push(format!(
+                "reconstruction claims {} sources for {} replicas",
+                rec.distinct_sources, rec.replicas
+            ));
+        }
+        let budget = self.config.recovery_bandwidth * rec.distinct_sources as f64;
+        // 35% headroom for throttle sleep granularity on small copies.
+        let limit = budget * 1.35 + 256e3;
+        let measured = rec.effective_bandwidth();
+        if measured > limit {
+            report.violations.push(format!(
+                "recovery bandwidth {measured:.0} B/s exceeds §3.3 budget {budget:.0} B/s \
+                 across {} sources",
+                rec.distinct_sources
+            ));
+        }
+    }
+
+    /// Attribute a write failure to an armed fault, escalating torn tails and
+    /// failed resync copies into the planned leader death. An unexplained
+    /// quorum failure while a quorum is alive is invariant 6's violation.
+    fn on_write_error(
+        &self,
+        partition: u64,
+        error: ReplError,
+        cluster: &mut ReplicatedCluster,
+        active: &mut ActiveFaults,
+        report: &mut EpisodeReport,
+    ) {
+        match error {
+            ReplError::Storage(_) => {
+                if active.torn.remove(&partition) || active.ckpt_fail.remove(&partition) {
+                    // The planned escalation: the broken leader dies, the
+                    // group fails over against a torn log / half-copied
+                    // checkpoint.
+                    if let Some(node) = cluster.meta().route(partition) {
+                        self.kill(cluster, node, active, report);
+                    }
+                } else if !active.flush_fail.remove(&partition) {
+                    report.violations.push(format!(
+                        "unexplained storage error on p{partition}: no armed fault"
+                    ));
+                }
+            }
+            ReplError::NoQuorum { need, acked } => {
+                let alive = cluster
+                    .group(partition)
+                    .map(|g| g.status().replicas.iter().filter(|r| r.alive).count())
+                    .unwrap_or(0);
+                if alive >= need {
+                    report.violations.push(format!(
+                        "quorum write failed ({acked}/{need}) on p{partition} with {alive} \
+                         replicas alive and only transient faults armed"
+                    ));
+                }
+            }
+            ReplError::NoLeader => {
+                // Acceptable only in the window before a planned kill lands;
+                // the cluster always promotes inside kill_node, so a
+                // persistent NoLeader shows up in the final split-brain check.
+            }
+            other => report
+                .violations
+                .push(format!("unexpected write error on p{partition}: {other}")),
+        }
+    }
+
+    /// A tick (async catch-up pump) failure must be explained by a pending
+    /// checkpoint-failure fault, whose escalation is the leader's death.
+    fn on_tick_error(
+        &self,
+        error: ReplError,
+        cluster: &mut ReplicatedCluster,
+        active: &mut ActiveFaults,
+        report: &mut EpisodeReport,
+    ) {
+        if let Some(&partition) = active.ckpt_fail.iter().next() {
+            active.ckpt_fail.remove(&partition);
+            if let Some(node) = cluster.meta().route(partition) {
+                self.kill(cluster, node, active, report);
+            }
+            return;
+        }
+        report
+            .violations
+            .push(format!("unexplained tick failure: {error}"));
+    }
+
+    /// Invariants 2 and 3, checked every tick: exactly one live leader per
+    /// group routed by the MetaServer, and per-replica LSNs that only move
+    /// backwards across an explicit resync or replacement.
+    fn check_tick_invariants(
+        &self,
+        cluster: &ReplicatedCluster,
+        watermarks: &mut BTreeMap<(u64, u32), (u64, u64)>,
+        tick: u64,
+        report: &mut EpisodeReport,
+    ) {
+        for p in 0..self.config.partitions {
+            let Some(group) = cluster.group(p) else {
+                continue;
+            };
+            let status = group.status();
+            let live_leaders = status
+                .replicas
+                .iter()
+                .filter(|r| r.alive && r.role == abase_replication::Role::Leader)
+                .count();
+            if live_leaders != 1 {
+                report.violations.push(format!(
+                    "split brain on p{p} at tick {tick}: {live_leaders} live leaders"
+                ));
+            }
+            if cluster.meta().route(p) != status.leader {
+                report.violations.push(format!(
+                    "routing diverged on p{p} at tick {tick}: meta={:?} group={:?}",
+                    cluster.meta().route(p),
+                    status.leader
+                ));
+            }
+            for r in &status.replicas {
+                match watermarks.get(&(p, r.id)) {
+                    Some(&(last_lsn, last_resyncs))
+                        if r.acked_lsn < last_lsn && r.resyncs == last_resyncs =>
+                    {
+                        report.violations.push(format!(
+                            "LSN regression on p{p} replica {} at tick {tick}: \
+                             {last_lsn} -> {} without a resync",
+                            r.id, r.acked_lsn
+                        ));
+                    }
+                    _ => {}
+                }
+                watermarks.insert((p, r.id), (r.acked_lsn, r.resyncs));
+            }
+        }
+    }
+
+    /// Invariant 1 (and final convergence): after quiescing, the leader
+    /// serves every acked write at-or-after its acked op, and followers have
+    /// converged to the leader's LSN.
+    fn check_final_invariants(
+        &self,
+        cluster: &mut ReplicatedCluster,
+        keys: &BTreeMap<u64, BTreeMap<String, KeyState>>,
+        report: &mut EpisodeReport,
+    ) {
+        for p in 0..self.config.partitions {
+            let Some(group) = cluster.group(p) else {
+                continue;
+            };
+            let status = group.status();
+            report.resyncs += status.replicas.iter().map(|r| r.resyncs).sum::<u64>();
+            if let Some(leader_lsn) = status.leader.and_then(|id| {
+                status
+                    .replicas
+                    .iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.acked_lsn)
+            }) {
+                for r in status.replicas.iter().filter(|r| r.alive) {
+                    if r.acked_lsn != leader_lsn {
+                        report.violations.push(format!(
+                            "p{p} replica {} did not converge: {} != leader {}",
+                            r.id, r.acked_lsn, leader_lsn
+                        ));
+                    }
+                }
+            } else {
+                report
+                    .violations
+                    .push(format!("p{p} finished the episode without a live leader"));
+            }
+            let Some(partition_keys) = keys.get(&p) else {
+                continue;
+            };
+            for (key, state) in partition_keys {
+                let read = match cluster.read(p, key.as_bytes(), ReadConsistency::Leader, 0) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        report
+                            .violations
+                            .push(format!("final leader read of {key} failed: {e}"));
+                        continue;
+                    }
+                };
+                let found_op = read.value.as_deref().and_then(parse_op);
+                match (state.last_acked_op, found_op) {
+                    (Some(acked), None) => report.violations.push(format!(
+                        "ACKED WRITE LOST: {key} acked op {acked} but reads as absent"
+                    )),
+                    (Some(acked), Some(op)) if op < acked => report.violations.push(format!(
+                        "ACKED WRITE LOST: {key} acked op {acked} but reads op {op}"
+                    )),
+                    (_, Some(op)) if !state.written_ops.contains(&op) => report.violations.push(
+                        format!("PHANTOM WRITE: {key} reads op {op} that was never written"),
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Invariant 4: a fenced read at an acked LSN must observe the write.
+fn check_ryw(
+    cluster: &mut ReplicatedCluster,
+    partition: u64,
+    key: &str,
+    op: u64,
+    lsn: u64,
+    now: u64,
+    report: &mut EpisodeReport,
+) {
+    match cluster.read(
+        partition,
+        key.as_bytes(),
+        ReadConsistency::ReadYourWrites(lsn),
+        now,
+    ) {
+        Ok(read) => match read.value.as_deref().and_then(parse_op) {
+            Some(found) if found >= op => {}
+            found => report.violations.push(format!(
+                "STALE FENCED READ: {key} fenced at lsn {lsn} (op {op}) returned {found:?}"
+            )),
+        },
+        Err(e) => report.violations.push(format!(
+            "fenced read of {key} at acked lsn {lsn} failed: {e}"
+        )),
+    }
+}
+
+/// The leader replica's data directory for `partition` (fail-point matcher).
+fn leader_dir(cluster: &ReplicatedCluster, partition: u64) -> Option<String> {
+    let group = cluster.group(partition)?;
+    let leader = group.leader()?;
+    group
+        .replica_dir(leader)
+        .ok()
+        .map(|d| d.display().to_string())
+}
+
+/// Data directories of every live follower of `partition`.
+fn follower_dirs(cluster: &ReplicatedCluster, partition: u64) -> Vec<String> {
+    let Some(group) = cluster.group(partition) else {
+        return Vec::new();
+    };
+    let Some(leader) = group.leader() else {
+        return Vec::new();
+    };
+    group
+        .members()
+        .into_iter()
+        .filter(|&m| m != leader && group.is_alive(m))
+        .filter_map(|m| group.replica_dir(m).ok())
+        .map(|d| d.display().to_string())
+        .collect()
+}
+
+/// Value payload: a parseable op id followed by padding to the profile size.
+fn encode_value(op: u64, len: usize) -> Vec<u8> {
+    let mut v = format!("op{op:010}|").into_bytes();
+    let target = len.max(v.len());
+    v.resize(target, b'x');
+    v
+}
+
+/// Recover the op id from a stored value.
+fn parse_op(value: &[u8]) -> Option<u64> {
+    let head = std::str::from_utf8(value.get(..13)?).ok()?;
+    head.strip_prefix("op")?.strip_suffix('|')?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_roundtrip_op_ids() {
+        let v = encode_value(42, 128);
+        assert_eq!(v.len(), 128);
+        assert_eq!(parse_op(&v), Some(42));
+        assert_eq!(parse_op(b"garbage"), None);
+        // Minimum-size values still carry the op id.
+        assert_eq!(parse_op(&encode_value(7, 0)), Some(7));
+    }
+}

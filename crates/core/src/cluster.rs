@@ -351,6 +351,8 @@ pub struct ReplicatedClusterConfig {
     pub db: DbConfig,
     /// Modeled per-node disk bandwidth for reconstruction (None = disk speed).
     pub recovery_bandwidth: Option<f64>,
+    /// Commit retry budget per group (see `GroupConfig::wait_timeout`).
+    pub wait_timeout: std::time::Duration,
 }
 
 impl Default for ReplicatedClusterConfig {
@@ -360,6 +362,7 @@ impl Default for ReplicatedClusterConfig {
             write_concern: WriteConcern::Quorum,
             db: DbConfig::default(),
             recovery_bandwidth: None,
+            wait_timeout: std::time::Duration::from_millis(100),
         }
     }
 }
@@ -468,6 +471,7 @@ impl ReplicatedCluster {
             GroupConfig {
                 write_concern: self.config.write_concern,
                 db: self.config.db,
+                wait_timeout: self.config.wait_timeout,
             },
         )?;
         self.meta.assign_replica_group(
@@ -548,12 +552,10 @@ impl ReplicatedCluster {
         let groups = &self.groups;
         let plan = self.meta.plan_node_failure(
             failed,
-            |partition, node| {
-                groups
-                    .get(&partition)
-                    .and_then(|g| g.acked_lsn(node).ok())
-                    .unwrap_or(0)
-            },
+            // `promotable_lsn` is None for dead or divergent replicas, so the
+            // plan can never elect a follower whose LSN counts unacked
+            // history (the group's own `promote` applies the same filter).
+            |partition, node| groups.get(&partition).and_then(|g| g.promotable_lsn(node)),
             &alive,
         );
         // 3. Execute promotions (the group elects by the same max-LSN rule).
@@ -761,6 +763,7 @@ mod tests {
                 write_concern: WriteConcern::Quorum,
                 db: DbConfig::small_for_tests(),
                 recovery_bandwidth: None,
+                ..Default::default()
             },
         );
         (dir, cluster)

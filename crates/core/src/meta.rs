@@ -164,16 +164,20 @@ impl MetaServer {
     ///
     /// For every affected partition the plan contains a leader promotion when
     /// the failed node led it — the surviving follower with the highest
-    /// `acked_lsn(partition, node)` wins — and one reconstruction assignment
-    /// re-seeding the lost replica on a spare node drawn from
-    /// `available_nodes`. Copy *sources* rotate across each group's survivors
-    /// and *destinations* balance across the spares, so the recovery I/O
-    /// spreads over as many disks as the cluster can offer (the multi-tenant
-    /// advantage [`RecoveryModel::multi_tenant_max_utilization`] prices).
+    /// `acked_lsn(partition, node)` wins, ties broken deterministically toward
+    /// the lowest node id — and one reconstruction assignment re-seeding the
+    /// lost replica on a spare node drawn from `available_nodes`. A follower
+    /// reporting `None` (dead, or carrying unreconciled divergent history —
+    /// see `ReplicaGroup::promotable_lsn`) is never promoted: its raw LSN may
+    /// count records the group's acked history already replaced. Copy
+    /// *sources* rotate across each group's survivors and *destinations*
+    /// balance across the spares, so the recovery I/O spreads over as many
+    /// disks as the cluster can offer (the multi-tenant advantage
+    /// [`RecoveryModel::multi_tenant_max_utilization`] prices).
     pub fn plan_node_failure(
         &mut self,
         failed: NodeId,
-        acked_lsn: impl Fn(PartitionId, NodeId) -> u64,
+        acked_lsn: impl Fn(PartitionId, NodeId) -> Option<u64>,
         available_nodes: &[NodeId],
     ) -> FailoverPlan {
         let mut affected: Vec<PartitionId> = self
@@ -196,7 +200,9 @@ impl MetaServer {
                     .iter()
                     .copied()
                     .filter(|&n| n != failed)
-                    .max_by_key(|&n| (acked_lsn(partition, n), std::cmp::Reverse(n)));
+                    .filter_map(|n| acked_lsn(partition, n).map(|lsn| (n, lsn)))
+                    .max_by_key(|&(n, lsn)| (lsn, std::cmp::Reverse(n)))
+                    .map(|(n, _)| n);
                 if let Some(new_leader) = winner {
                     set.followers.retain(|&n| n != new_leader);
                     set.leader = new_leader;
@@ -349,7 +355,7 @@ mod tests {
             },
         );
         // Follower LSNs: per partition, the higher node id is further ahead.
-        let acked = |partition: u64, node: u32| partition * 100 + u64::from(node);
+        let acked = |partition: u64, node: u32| Some(partition * 100 + u64::from(node));
         let plan = m.plan_node_failure(0, acked, &[1, 2, 3, 4]);
         assert_eq!(plan.failed, 0);
         assert_eq!(plan.promotions.len(), 3);
@@ -392,6 +398,24 @@ mod tests {
     }
 
     #[test]
+    fn failover_never_promotes_a_gapped_replica() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            5,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![1, 2],
+            },
+        );
+        // Node 1 reports the higher LSN but is gapped/divergent (None):
+        // node 2 must win despite being behind.
+        let plan = m.plan_node_failure(0, |_, n| if n == 1 { None } else { Some(3) }, &[1, 2, 3]);
+        assert_eq!(plan.promotions.len(), 1);
+        assert_eq!(plan.promotions[0].new_leader, 2);
+    }
+
+    #[test]
     fn failover_with_no_spare_still_promotes() {
         let mut m = MetaServer::new(secs(1));
         m.assign_replica_group(
@@ -402,7 +426,7 @@ mod tests {
                 followers: vec![1, 2],
             },
         );
-        let plan = m.plan_node_failure(0, |_, n| u64::from(n), &[1, 2]);
+        let plan = m.plan_node_failure(0, |_, n| Some(u64::from(n)), &[1, 2]);
         assert_eq!(plan.promotions.len(), 1);
         assert_eq!(plan.promotions[0].new_leader, 2);
         // No node outside the group: nothing to re-seed onto.

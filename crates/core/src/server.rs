@@ -23,7 +23,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What `WAIT` needs from a replication plane. Implemented for a locked
 /// [`ReplicaGroup`]; custom planes (tests, future geo-replication) can
@@ -47,21 +47,69 @@ impl ReplicationControl for Mutex<ReplicaGroup> {
         self.lock().leader_db().ok().map(|db| db.last_seq())
     }
 
-    fn wait_for(&self, lsn: u64, numreplicas: usize, _timeout: Duration) -> Result<usize, String> {
-        // In-process shipping completes synchronously, so the timeout is not
-        // consulted; once followers sit across a real network this must
-        // bound the pump (a gap-triggered full resync can be long).
-        self.lock()
-            .wait(lsn, numreplicas)
-            .map_err(|e| e.to_string())
+    fn wait_for(&self, lsn: u64, numreplicas: usize, timeout: Duration) -> Result<usize, String> {
+        let deadline = Instant::now() + timeout;
+        drive_followers(self, lsn, numreplicas, deadline)
     }
 
     fn commit_written(&self) -> Result<(), String> {
-        // One lock acquisition covers both reading the fence LSN and
-        // committing it, so a concurrent writer cannot slide the fence.
-        let mut group = self.lock();
-        let lsn = group.leader_db().map_err(|e| e.to_string())?.last_seq();
-        group.commit(lsn).map(|_| ()).map_err(|e| e.to_string())
+        // One lock acquisition covers both reading the fence LSN and the
+        // concern arithmetic, so a concurrent writer cannot slide the fence.
+        let (lsn, need, timeout) = {
+            let group = self.lock();
+            if group.write_concern() == abase_replication::WriteConcern::Async {
+                return Ok(());
+            }
+            let lsn = group.leader_db().map_err(|e| e.to_string())?.last_seq();
+            (lsn, group.commit_need(), group.config().wait_timeout)
+        };
+        // The leader itself always counts toward the concern.
+        let follower_need = need.saturating_sub(1);
+        let acked = drive_followers(self, lsn, follower_need, Instant::now() + timeout)?;
+        if acked >= follower_need {
+            Ok(())
+        } else {
+            Err(format!(
+                "write concern unsatisfied: {}/{} acks",
+                acked + 1,
+                need
+            ))
+        }
+    }
+}
+
+/// Pump a locked group until `numreplicas` followers ack `lsn` or `deadline`
+/// passes, returning the follower-ack count reached. Only bounded work runs
+/// under the lock: when a follower needs a full resync, the checkpoint copy
+/// streams with the group *unlocked*, so other connections' `WAIT`/commit on
+/// other keys proceed during the transfer.
+fn drive_followers(
+    group: &Mutex<ReplicaGroup>,
+    lsn: u64,
+    numreplicas: usize,
+    deadline: Instant,
+) -> Result<usize, String> {
+    loop {
+        let status = { group.lock().advance(lsn) }.map_err(|e| e.to_string())?;
+        if status.followers_acked >= numreplicas {
+            return Ok(status.followers_acked);
+        }
+        if let Some(&id) = status.needs_resync.first() {
+            let ticket = { group.lock().begin_resync(id) }.map_err(|e| e.to_string())?;
+            // The long copy happens without the lock.
+            let info = ticket.copy().map_err(|e| e.to_string())?;
+            match group.lock().complete_resync(ticket, info) {
+                Ok(()) => {}
+                // Leadership moved mid-copy: loop and retry from the top.
+                Err(abase_replication::Error::ResyncSuperseded) => {}
+                Err(e) => return Err(e.to_string()),
+            }
+            continue;
+        }
+        if Instant::now() >= deadline {
+            return Ok(status.followers_acked);
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
 }
 
@@ -392,6 +440,8 @@ mod tests {
             GroupConfig {
                 write_concern: WriteConcern::Quorum,
                 db: DbConfig::small_for_tests(),
+                // Keep the deliberately failing quorum write below fast.
+                wait_timeout: Duration::from_millis(20),
             },
         )
         .unwrap();
@@ -436,6 +486,80 @@ mod tests {
     }
 
     #[test]
+    fn resync_copy_runs_with_the_group_unlocked() {
+        use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
+        use abase_util::failpoint::{self, FaultAction};
+        let _guard = failpoint::ScopedInjector::enable();
+        let dir = TestDir::new("unlocked-resync");
+        let mut group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1, 2, 3],
+            GroupConfig {
+                write_concern: WriteConcern::Async,
+                db: DbConfig::small_for_tests(),
+                wait_timeout: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+        for i in 0..30 {
+            group
+                .put(format!("k{i:03}").as_bytes(), &[5u8; 64], None, 0)
+                .unwrap();
+        }
+        group.leader_db().unwrap().flush().unwrap();
+        group.tick().unwrap();
+        let lsn = group.put(b"fence", b"v", None, 0).unwrap();
+        let leader_dir = dir.path().join("p1-r1");
+        // Follower 2's next poll gaps; the checkpoint copy that follows is
+        // slowed to ≥400 ms by per-chunk delays.
+        failpoint::install(
+            "binlog.poll",
+            Some(leader_dir.to_str().unwrap()),
+            FaultAction::Gap,
+            0,
+            1,
+        );
+        failpoint::install(
+            "db.checkpoint",
+            Some(leader_dir.to_str().unwrap()),
+            FaultAction::DelayMs(150),
+            0,
+            5,
+        );
+        let group = Arc::new(Mutex::new(group));
+        let waiter = {
+            let group = Arc::clone(&group);
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let acked = group
+                    .wait_for(lsn, 2, Duration::from_secs(10))
+                    .expect("wait_for failed");
+                (acked, started.elapsed())
+            })
+        };
+        // While the copy is in flight, the group mutex must be free: other
+        // connections' WAIT/commit keep flowing.
+        std::thread::sleep(Duration::from_millis(150));
+        let t0 = Instant::now();
+        {
+            let mut g = group.lock();
+            g.put(b"concurrent", b"w", None, 0).unwrap();
+        }
+        let lock_wait = t0.elapsed();
+        let (acked, waited) = waiter.join().unwrap();
+        assert_eq!(acked, 2, "both followers must end up acked");
+        assert!(
+            waited >= Duration::from_millis(350),
+            "copy was not slowed ({waited:?}); the lock-freedom check is vacuous"
+        );
+        assert!(
+            lock_wait < Duration::from_millis(200),
+            "group mutex was held across the resync copy ({lock_wait:?})"
+        );
+    }
+
+    #[test]
     fn wait_blocks_on_replica_acks() {
         use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
         let dir = TestDir::new("wait-repl");
@@ -447,6 +571,7 @@ mod tests {
                 // Async at write time: WAIT is what forces shipping.
                 write_concern: WriteConcern::Async,
                 db: DbConfig::small_for_tests(),
+                wait_timeout: Duration::from_millis(100),
             },
         )
         .unwrap();

@@ -172,6 +172,18 @@ impl Db {
     pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // Sweep checkpoint pin directories a crashed process left behind:
+        // their hard links would otherwise keep deleted SSTs' disk space
+        // pinned forever.
+        for entry in std::fs::read_dir(&dir)?.filter_map(|e| e.ok()) {
+            if entry
+                .file_name()
+                .to_string_lossy()
+                .starts_with(".ckpt-pin-")
+            {
+                std::fs::remove_dir_all(entry.path()).ok();
+            }
+        }
         let mut version = match Version::load(&dir)? {
             Some(v) => v,
             None => Version::new(config.compaction.n_levels),
@@ -342,54 +354,129 @@ impl Db {
     /// `on_chunk` is invoked with each copied chunk's size — reconstruction
     /// uses it to model per-node disk bandwidth.
     ///
-    /// The write lock is held for the duration, so the snapshot is a
-    /// point-in-time image. This mirrors how production systems quiesce one
-    /// replica to seed another; concurrent writers simply wait.
+    /// The write lock is held only to *pin* the snapshot: live files are
+    /// hard-linked into a private pin directory and the log cursor recorded,
+    /// all O(files). The byte copy then streams **without any lock**, reading
+    /// the pinned inodes — concurrent writers, flushes, and compactions
+    /// proceed during the transfer (a deleted original stays readable through
+    /// its link), so seeding a replica does not stall the write path. The
+    /// live WAL segment is copied only up to the recorded offset, keeping the
+    /// clone byte-exact with the returned cursor even while the leader keeps
+    /// appending.
     pub fn checkpoint_with(
         &self,
         dest_dir: &Path,
         on_chunk: &mut dyn FnMut(usize),
     ) -> Result<CheckpointInfo> {
-        let mut inner = self.inner.write();
-        inner.wal.flush()?;
-        std::fs::create_dir_all(dest_dir)?;
-        let mut bytes_copied = 0u64;
-        let mut copy = |src: &Path, dest: &Path| -> Result<()> {
-            let mut reader = std::fs::File::open(src)?;
-            let mut writer = std::fs::File::create(dest)?;
-            let mut chunk = vec![0u8; 64 << 10];
-            loop {
-                let n = std::io::Read::read(&mut reader, &mut chunk)?;
-                if n == 0 {
-                    break;
+        static PIN_SEQ: AtomicU64 = AtomicU64::new(0);
+        let pin_dir = self.dir.join(format!(
+            ".ckpt-pin-{}-{}",
+            std::process::id(),
+            PIN_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Phase 1 — pin under the write lock. Cleanup of the pin directory on
+        // *any* exit (including a failed hard link) happens below; a crashed
+        // process's stale pin dirs are swept by `Db::open`.
+        struct PinSnapshot {
+            version: Version,
+            wal_segment: u64,
+            wal_offset: u64,
+            /// `(pinned link, destination path)` per live file.
+            files: Vec<(PathBuf, PathBuf)>,
+        }
+        let phase1 = || -> Result<PinSnapshot> {
+            let mut inner = self.inner.write();
+            inner.wal.flush()?;
+            std::fs::create_dir_all(&pin_dir)?;
+            let mut pinned: Vec<(PathBuf, PathBuf)> = Vec::new(); // (pin, dest name)
+            let mut pin = |src: PathBuf, dest_name: PathBuf| -> Result<()> {
+                let pinned_path = pin_dir.join(src.file_name().expect("data files have names"));
+                std::fs::hard_link(&src, &pinned_path)?;
+                pinned.push((pinned_path, dest_name));
+                Ok(())
+            };
+            for files in &inner.version.levels {
+                for meta in files {
+                    pin(sst_path(&self.dir, meta.id), sst_path(dest_dir, meta.id))?;
                 }
-                std::io::Write::write_all(&mut writer, &chunk[..n])?;
-                bytes_copied += n as u64;
-                on_chunk(n);
             }
-            Ok(())
+            for id in Wal::list_segments(&self.dir)? {
+                // Segments below the floor are retained backlog for tail
+                // readers; their records are already in the pinned SSTs and
+                // the clone would never replay them — copying them wastes
+                // recovery bandwidth.
+                if id < inner.version.wal_floor {
+                    continue;
+                }
+                pin(wal_path(&self.dir, id), wal_path(dest_dir, id))?;
+            }
+            Ok(PinSnapshot {
+                version: inner.version.clone(),
+                wal_segment: inner.wal_id,
+                wal_offset: inner.wal.appended_bytes(),
+                files: pinned,
+            })
         };
-        for files in &inner.version.levels {
-            for meta in files {
-                let name = sst_path(&self.dir, meta.id);
-                copy(&name, &sst_path(dest_dir, meta.id))?;
+        let PinSnapshot {
+            version,
+            wal_segment,
+            wal_offset,
+            files: pinned,
+        } = match phase1() {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                std::fs::remove_dir_all(&pin_dir).ok();
+                return Err(e);
             }
-        }
-        for id in Wal::list_segments(&self.dir)? {
-            // Segments below the floor are retained backlog for tail readers;
-            // their records are already in the copied SSTs and the clone
-            // would never replay them — copying them wastes recovery
-            // bandwidth.
-            if id < inner.version.wal_floor {
-                continue;
+        };
+        // Phase 2 — stream the pinned bytes, lock-free.
+        let result = (|| -> Result<u64> {
+            std::fs::create_dir_all(dest_dir)?;
+            let mut bytes_copied = 0u64;
+            let fp_context = self.dir.display().to_string();
+            let live_wal_name = wal_path(&self.dir, wal_segment);
+            for (pinned_path, dest) in &pinned {
+                // Cap the live segment at the recorded cursor; appends that
+                // landed after the pin belong to the tail the follower ships.
+                let limit = if pinned_path.file_name() == live_wal_name.file_name() {
+                    Some(wal_offset)
+                } else {
+                    None
+                };
+                let mut reader = std::fs::File::open(pinned_path)?;
+                let mut writer = std::fs::File::create(dest)?;
+                let mut remaining = limit.unwrap_or(u64::MAX);
+                let mut chunk = vec![0u8; 64 << 10];
+                while remaining > 0 {
+                    // Chaos site: a checkpoint source dying mid-copy (each
+                    // chunk may be the one that fails or stalls).
+                    if let Some(abase_util::failpoint::FaultAction::Error) =
+                        abase_util::failpoint::check("db.checkpoint", &fp_context)
+                    {
+                        return Err(Error::Io(std::io::Error::other(
+                            "injected fault: checkpoint source failed mid-copy",
+                        )));
+                    }
+                    let want = chunk.len().min(remaining.min(u64::MAX >> 1) as usize);
+                    let n = std::io::Read::read(&mut reader, &mut chunk[..want])?;
+                    if n == 0 {
+                        break;
+                    }
+                    std::io::Write::write_all(&mut writer, &chunk[..n])?;
+                    bytes_copied += n as u64;
+                    remaining = remaining.saturating_sub(n as u64);
+                    on_chunk(n);
+                }
             }
-            copy(&wal_path(&self.dir, id), &wal_path(dest_dir, id))?;
-        }
-        inner.version.save(dest_dir)?;
+            version.save(dest_dir)?;
+            Ok(bytes_copied)
+        })();
+        std::fs::remove_dir_all(&pin_dir).ok();
+        let bytes_copied = result?;
         Ok(CheckpointInfo {
-            last_seq: inner.version.next_seq - 1,
-            wal_segment: inner.wal_id,
-            wal_offset: inner.wal.appended_bytes(),
+            last_seq: version.next_seq - 1,
+            wal_segment,
+            wal_offset,
             bytes_copied,
         })
     }

@@ -7,6 +7,7 @@
 use crate::encoding::crc32;
 use crate::error::{Error, Result};
 use crate::record::Record;
+use abase_util::failpoint::{self, FaultAction};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -18,6 +19,16 @@ pub struct Wal {
     /// Bytes appended since open (approximate file size).
     appended: u64,
     sync_on_append: bool,
+    /// The segment's path, used as fail-point context (chaos targets one
+    /// replica's log by directory substring).
+    context: String,
+    /// Set after an injected torn write: the simulated process crashed
+    /// mid-append, so every further append must fail until reopen.
+    poisoned: bool,
+}
+
+fn injected_io(what: &str) -> Error {
+    Error::Io(std::io::Error::other(format!("injected fault: {what}")))
 }
 
 impl Wal {
@@ -52,20 +63,48 @@ impl Wal {
             writer: BufWriter::new(file),
             appended: 0,
             sync_on_append,
+            context: path.display().to_string(),
+            poisoned: false,
         })
     }
 
     /// Append one record.
     pub fn append(&mut self, record: &Record) -> Result<()> {
+        if self.poisoned {
+            return Err(injected_io("wal poisoned by earlier torn write"));
+        }
         let mut payload = Vec::with_capacity(record.approximate_size());
         record.encode(&mut payload);
         let crc = crc32(&payload);
+        match failpoint::check("wal.append", &self.context) {
+            Some(FaultAction::Error) => return Err(injected_io("wal append failed")),
+            Some(FaultAction::TornWrite { keep_bytes }) => {
+                // Simulate a crash mid-append: part of the frame reaches the
+                // file (flushed so tail readers can observe the tear), then
+                // this log is dead until reopened. Replay/poll must park
+                // before the torn frame.
+                let mut frame = Vec::with_capacity(8 + payload.len());
+                frame.extend_from_slice(&crc.to_le_bytes());
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&payload);
+                let keep = (keep_bytes as usize).min(frame.len().saturating_sub(1));
+                self.writer.write_all(&frame[..keep])?;
+                self.writer.flush()?;
+                self.appended += keep as u64;
+                self.poisoned = true;
+                return Err(injected_io("torn wal append"));
+            }
+            _ => {}
+        }
         self.writer.write_all(&crc.to_le_bytes())?;
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.appended += 8 + payload.len() as u64;
         if self.sync_on_append {
+            if let Some(FaultAction::Error) = failpoint::check("wal.sync", &self.context) {
+                return Err(injected_io("wal fsync failed"));
+            }
             self.writer.flush()?;
             self.writer.get_ref().sync_data()?;
         }
@@ -74,6 +113,9 @@ impl Wal {
 
     /// Flush buffered frames to the OS (without fsync).
     pub fn flush(&mut self) -> Result<()> {
+        if let Some(FaultAction::Error) = failpoint::check("wal.flush", &self.context) {
+            return Err(injected_io("wal flush failed"));
+        }
         self.writer.flush()?;
         Ok(())
     }

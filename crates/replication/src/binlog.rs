@@ -69,6 +69,17 @@ impl Binlog {
     /// mid-frame) parks the cursor before it; the next poll retries. Reports
     /// [`Poll::Gap`] when the cursor's segment no longer exists.
     pub fn poll(&mut self) -> Result<Poll> {
+        // Chaos sites: a stalled tail reader (returns empty without moving the
+        // cursor) or a forced gap (as if the cursor's segment rotated away).
+        if abase_util::failpoint::enabled() {
+            match abase_util::failpoint::check("binlog.poll", &self.dir.display().to_string()) {
+                Some(abase_util::failpoint::FaultAction::Stall) => {
+                    return Ok(Poll::Records(Vec::new()))
+                }
+                Some(abase_util::failpoint::FaultAction::Gap) => return Ok(Poll::Gap),
+                _ => {}
+            }
+        }
         // The poll sits on the synchronous-replication write path, so keep
         // the directory traffic minimal: one listing per poll iteration (to
         // decide segment advancement), and one only at first attach.

@@ -12,10 +12,12 @@
 
 use crate::binlog::{Binlog, Poll};
 use crate::{Error, Lsn, Result};
-use abase_lavastore::{Db, DbConfig, Error as StorageError, ReadResult};
+use abase_lavastore::{CheckpointInfo, Db, DbConfig, Error as StorageError, ReadResult};
 use abase_util::clock::SimTime;
+use abase_util::failpoint::{self, FaultAction};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Replica identifier (the DataNode hosting it, in cluster terms).
 pub type ReplicaId = u32;
@@ -59,6 +61,22 @@ pub struct GroupConfig {
     pub write_concern: WriteConcern,
     /// Storage engine configuration shared by every replica.
     pub db: DbConfig,
+    /// How long a commit ([`WriteConcern`] enforcement) keeps retrying the
+    /// pump before giving up with `NoQuorum` — Redis `WAIT` semantics: a dead
+    /// or stalled follower bounds the wait, it does not block forever.
+    /// `Duration::ZERO` means a single non-blocking pass.
+    pub wait_timeout: Duration,
+}
+
+impl GroupConfig {
+    /// A config with the default commit timeout.
+    pub fn new(write_concern: WriteConcern, db: DbConfig) -> Self {
+        Self {
+            write_concern,
+            db,
+            wait_timeout: Duration::from_millis(100),
+        }
+    }
 }
 
 struct Replica {
@@ -110,6 +128,79 @@ pub struct ReplicaGroup {
     replicas: Vec<Replica>,
     /// Round-robin cursor for `Eventual`/fenced reads.
     read_cursor: usize,
+    /// Bumped on every leadership/membership change; an in-flight
+    /// [`ResyncTicket`] from an older epoch is refused at install time.
+    epoch: u64,
+}
+
+/// What one shallow (no-resync) pump pass observed for a follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpStatus {
+    /// Nothing to pump: the replica is dead, not a follower, or detached.
+    Idle,
+    /// The cursor is live; zero or more records were applied.
+    Applied,
+    /// The follower fell off the leader's log (or carries divergent history)
+    /// and needs a full resync before shipping can continue.
+    NeedsResync,
+}
+
+/// Outcome of one [`ReplicaGroup::advance`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvanceStatus {
+    /// Live followers whose applied LSN has reached the fence.
+    pub followers_acked: usize,
+    /// Followers that cannot proceed without a full resync; the caller may
+    /// run those copies through [`ReplicaGroup::begin_resync`] /
+    /// [`ReplicaGroup::complete_resync`] without holding its group lock.
+    pub needs_resync: Vec<ReplicaId>,
+}
+
+/// A prepared full resynchronization whose (long) checkpoint copy runs
+/// without borrowing the group: [`ReplicaGroup::begin_resync`] hands one out,
+/// [`ResyncTicket::copy`] streams the leader checkpoint into a staging
+/// directory, and [`ReplicaGroup::complete_resync`] atomically installs it.
+/// Callers that guard the group with a mutex (the RESP server) drop the lock
+/// around `copy`, so `WAIT`/commit on other keys are not blocked for the
+/// duration of the transfer.
+#[derive(Debug)]
+pub struct ResyncTicket {
+    follower: ReplicaId,
+    epoch: u64,
+    leader: Arc<Db>,
+    leader_dir: PathBuf,
+    staging: PathBuf,
+}
+
+impl ResyncTicket {
+    /// The follower this resync is for.
+    pub fn follower(&self) -> ReplicaId {
+        self.follower
+    }
+
+    /// Stream a leader checkpoint into the staging directory. Does not touch
+    /// the follower's live state: a failure mid-copy (source died, disk
+    /// error) leaves the follower exactly as it was, still serving its
+    /// (valid prefix) history.
+    pub fn copy(&self) -> Result<CheckpointInfo> {
+        std::fs::remove_dir_all(&self.staging).ok();
+        match self.leader.checkpoint(&self.staging) {
+            Ok(info) => Ok(info),
+            Err(e) => {
+                std::fs::remove_dir_all(&self.staging).ok();
+                Err(e.into())
+            }
+        }
+    }
+}
+
+impl Drop for ResyncTicket {
+    fn drop(&mut self) {
+        // Abandoned or completed, the staging tree must not outlive the
+        // ticket (after a successful install the rename already moved it, so
+        // this is a no-op there).
+        std::fs::remove_dir_all(&self.staging).ok();
+    }
 }
 
 impl std::fmt::Debug for ReplicaGroup {
@@ -162,6 +253,7 @@ impl ReplicaGroup {
             config,
             replicas,
             read_cursor: 0,
+            epoch: 0,
         })
     }
 
@@ -173,6 +265,11 @@ impl ReplicaGroup {
     /// The configured write concern.
     pub fn write_concern(&self) -> WriteConcern {
         self.config.write_concern
+    }
+
+    /// The group configuration.
+    pub fn config(&self) -> &GroupConfig {
+        &self.config
     }
 
     /// Group membership in declaration order.
@@ -218,10 +315,15 @@ impl ReplicaGroup {
     }
 
     /// Live replicas (leader included) whose applied LSN is at least `lsn`.
+    ///
+    /// A replica flagged for full resync never counts: its `last_seq` may
+    /// include divergent records the group's acked history replaced, so
+    /// counting it would let a write concern ack on state the replica does
+    /// not actually hold.
     pub fn acked_count(&self, lsn: Lsn) -> usize {
         self.replicas
             .iter()
-            .filter(|r| r.alive && r.db.last_seq() >= lsn)
+            .filter(|r| r.alive && !r.needs_full_resync && r.db.last_seq() >= lsn)
             .count()
     }
 
@@ -250,59 +352,146 @@ impl ReplicaGroup {
         Ok(lsn)
     }
 
-    /// Enforce the configured write concern for everything up to `lsn` (used
-    /// directly when writes went to [`ReplicaGroup::leader_db`] out-of-band,
-    /// e.g. through a table engine executing RESP commands).
-    pub fn commit(&mut self, lsn: Lsn) -> Result<usize> {
-        let need = match self.config.write_concern {
-            WriteConcern::Async => return Ok(1),
+    /// Replicas (leader included) the configured write concern requires.
+    pub fn commit_need(&self) -> usize {
+        match self.config.write_concern {
+            WriteConcern::Async => 1,
             WriteConcern::Quorum => self.replicas.len() / 2 + 1,
             WriteConcern::All => self.replicas.iter().filter(|r| r.alive).count(),
-        };
-        self.replicate_until(lsn, need)
+        }
+    }
+
+    /// Enforce the configured write concern for everything up to `lsn` (used
+    /// directly when writes went to [`ReplicaGroup::leader_db`] out-of-band,
+    /// e.g. through a table engine executing RESP commands). Retries the pump
+    /// until the concern holds or `wait_timeout` expires; a dead follower
+    /// therefore bounds the wait instead of failing the write outright while
+    /// a transiently stalled one still gets time to catch up.
+    pub fn commit(&mut self, lsn: Lsn) -> Result<usize> {
+        if self.config.write_concern == WriteConcern::Async {
+            return Ok(1);
+        }
+        let need = self.commit_need();
+        let deadline = Instant::now() + self.config.wait_timeout;
+        self.replicate_until(lsn, need, deadline)
     }
 
     /// Ship the leader's log to followers until `need` replicas (leader
-    /// included) have applied `lsn`, pumping as few followers as possible.
-    fn replicate_until(&mut self, lsn: Lsn, need: usize) -> Result<usize> {
+    /// included) have applied `lsn`, pumping as few followers as possible and
+    /// retrying until `deadline`.
+    fn replicate_until(&mut self, lsn: Lsn, need: usize, deadline: Instant) -> Result<usize> {
         self.leader_db()?.flush_wal()?;
-        let mut acked = self.acked_count(lsn);
-        if acked < need {
-            let follower_ids: Vec<ReplicaId> = self
-                .replicas
-                .iter()
-                .filter(|r| r.alive && r.role == Role::Follower && r.db.last_seq() < lsn)
-                .map(|r| r.id)
-                .collect();
-            for id in follower_ids {
-                self.pump_follower(id)?;
-                acked = self.acked_count(lsn);
-                if acked >= need {
-                    break;
-                }
+        loop {
+            let acked = self.acked_count(lsn);
+            if acked >= need {
+                return Ok(acked);
+            }
+            let progressed = self.pump_lagging(lsn, need)?;
+            let acked = self.acked_count(lsn);
+            if acked >= need {
+                return Ok(acked);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::NoQuorum { need, acked });
+            }
+            if !progressed {
+                // Nothing moved this pass; yield briefly while waiting out
+                // the timeout (a stalled follower may recover, and once
+                // followers sit across a real network, acks arrive async).
+                std::thread::sleep(Duration::from_millis(1));
             }
         }
-        if acked < need {
-            return Err(Error::NoQuorum { need, acked });
-        }
-        Ok(acked)
     }
 
-    /// Block until at least `numreplicas` *followers* have applied `lsn`
-    /// (Redis `WAIT` semantics: the leader itself is not counted). Returns
-    /// the number of followers that have, which may exceed the ask.
-    pub fn wait(&mut self, lsn: Lsn, numreplicas: usize) -> Result<usize> {
+    /// One pump pass over live followers below `lsn`, stopping early once
+    /// `need` replicas ack. Returns whether any follower made progress
+    /// (applied records or completed a resync).
+    fn pump_lagging(&mut self, lsn: Lsn, need: usize) -> Result<bool> {
+        // A divergent (needs-resync) follower is lagging regardless of its
+        // raw LSN: it cannot ack until a resync replaces its history.
+        let lagging: Vec<(ReplicaId, Lsn, u64)> = self
+            .replicas
+            .iter()
+            .filter(|r| {
+                r.alive
+                    && r.role == Role::Follower
+                    && (r.db.last_seq() < lsn || r.needs_full_resync)
+            })
+            .map(|r| (r.id, r.db.last_seq(), r.resyncs))
+            .collect();
+        let mut progressed = false;
+        for (id, seq_before, resyncs_before) in lagging {
+            self.pump_follower(id)?;
+            let r = self.find(id)?;
+            if r.db.last_seq() != seq_before || r.resyncs != resyncs_before {
+                progressed = true;
+            }
+            if self.acked_count(lsn) >= need {
+                break;
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Pump until at least `numreplicas` *followers* have applied `lsn` or
+    /// `timeout` expires (Redis `WAIT` semantics: the leader itself is not
+    /// counted, and falling short of the ask is the answer — the returned
+    /// count — not an error). `Duration::ZERO` makes a single pass.
+    pub fn wait(&mut self, lsn: Lsn, numreplicas: usize, timeout: Duration) -> Result<usize> {
+        let deadline = Instant::now() + timeout;
         // Falling short of the ask is the answer (the returned count), but a
         // real storage fault must not masquerade as replication lag.
-        match self.replicate_until(lsn, (numreplicas + 1).min(self.replicas.len())) {
+        match self.replicate_until(lsn, (numreplicas + 1).min(self.replicas.len()), deadline) {
             Ok(_) | Err(Error::NoQuorum { .. }) => {}
             Err(e) => return Err(e),
         }
         Ok(self
             .replicas
             .iter()
-            .filter(|r| r.alive && r.role == Role::Follower && r.db.last_seq() >= lsn)
+            .filter(|r| {
+                r.alive
+                    && r.role == Role::Follower
+                    && !r.needs_full_resync
+                    && r.db.last_seq() >= lsn
+            })
             .count())
+    }
+
+    /// One non-blocking advance pass toward `lsn`: flush the leader's log and
+    /// shallow-pump every lagging live follower, *without* running full
+    /// resyncs. Lock-holding callers use this plus the resync ticket API to
+    /// keep long checkpoint copies outside their critical section.
+    pub fn advance(&mut self, lsn: Lsn) -> Result<AdvanceStatus> {
+        self.leader_db()?.flush_wal()?;
+        let ids: Vec<ReplicaId> = self
+            .replicas
+            .iter()
+            .filter(|r| {
+                r.alive
+                    && r.role == Role::Follower
+                    && (r.db.last_seq() < lsn || r.needs_full_resync)
+            })
+            .map(|r| r.id)
+            .collect();
+        let mut needs_resync = Vec::new();
+        for id in ids {
+            if self.pump_follower_shallow(id)? == PumpStatus::NeedsResync {
+                needs_resync.push(id);
+            }
+        }
+        Ok(AdvanceStatus {
+            followers_acked: self
+                .replicas
+                .iter()
+                .filter(|r| {
+                    r.alive
+                        && r.role == Role::Follower
+                        && !r.needs_full_resync
+                        && r.db.last_seq() >= lsn
+                })
+                .count(),
+            needs_resync,
+        })
     }
 
     /// Ship pending log to every live follower (the periodic `Async`
@@ -372,11 +561,25 @@ impl ReplicaGroup {
         Ok(())
     }
 
+    /// A replica's LSN for promotion planning: `None` when it is dead or
+    /// carries unreconciled (divergent) history — its `last_seq` counts
+    /// records the group never acked, so electing it could resurrect writes
+    /// the current history already replaced. The MetaServer's failover
+    /// planner skips `None` candidates.
+    pub fn promotable_lsn(&self, id: ReplicaId) -> Option<Lsn> {
+        self.find(id)
+            .ok()
+            .filter(|r| r.alive && !r.needs_full_resync)
+            .map(|r| r.db.last_seq())
+    }
+
     /// Elect the most-caught-up live follower as leader after the old leader
     /// died. Followers re-attach their binlogs to the new leader. Because log
     /// application is strictly in order, the follower with the highest
-    /// applied LSN holds a superset of every write any replica acked — so no
-    /// acknowledged write is lost.
+    /// applied LSN holds a superset of every write any follower ever acked —
+    /// so no acknowledged write is lost. A follower flagged for full resync
+    /// (a revived ex-leader with a divergent tail) is never a candidate: its
+    /// LSN counts history the group may have replaced.
     pub fn promote(&mut self) -> Result<ReplicaId> {
         if self
             .replicas
@@ -388,7 +591,7 @@ impl ReplicaGroup {
         let winner = self
             .replicas
             .iter()
-            .filter(|r| r.alive && r.role == Role::Follower)
+            .filter(|r| r.alive && r.role == Role::Follower && !r.needs_full_resync)
             .max_by(|a, b| {
                 a.db.last_seq()
                     .cmp(&b.db.last_seq())
@@ -423,6 +626,9 @@ impl ReplicaGroup {
                 r.binlog = Some(Binlog::attach(&leader_dir));
             }
         }
+        // Leadership changed: any in-flight resync copy from the old leader
+        // must not install (its ticket carries the previous epoch).
+        self.epoch += 1;
         Ok(winner)
     }
 
@@ -455,6 +661,8 @@ impl ReplicaGroup {
             needs_full_resync: false,
             resyncs: 0,
         };
+        // Membership changed: stale resync tickets must not install.
+        self.epoch += 1;
         // Catch the newcomer up to the leader's current position.
         self.pump_follower(new_id)
     }
@@ -464,59 +672,68 @@ impl ReplicaGroup {
     pub fn pump_follower(&mut self, id: ReplicaId) -> Result<()> {
         // Two rounds maximum: a gap resolves through resync, after which the
         // second poll must succeed (the cursor sits at a live position).
-        for attempt in 0..2 {
-            let idx = self.find_index(id)?;
-            {
-                let r = &self.replicas[idx];
-                if !r.alive || r.role != Role::Follower {
-                    return Ok(());
-                }
-                if r.needs_full_resync {
-                    self.resync_follower(id)?;
-                }
-            }
-            let idx = self.find_index(id)?;
-            let outcome = {
-                let r = &mut self.replicas[idx];
-                let Some(binlog) = r.binlog.as_mut() else {
-                    return Ok(());
-                };
-                binlog.poll()?
-            };
-            match outcome {
-                Poll::Records(records) => {
-                    let r = &mut self.replicas[idx];
-                    let mut in_stream_gap = false;
-                    for record in &records {
-                        match r.db.apply_replicated(record) {
-                            Ok(_) => {}
-                            Err(StorageError::InvalidState(_)) => {
-                                // LSN gap inside the stream (possible after a
-                                // leader change): fall back to full resync.
-                                in_stream_gap = true;
-                                break;
-                            }
-                            Err(e) => return Err(e.into()),
-                        }
-                    }
-                    if in_stream_gap {
-                        self.resync_follower(id)?;
-                    }
-                    return Ok(());
-                }
-                Poll::Gap => {
-                    self.resync_follower(id)?;
-                    if attempt == 1 {
-                        return Ok(());
-                    }
-                }
+        for _ in 0..2 {
+            match self.pump_follower_shallow(id)? {
+                PumpStatus::Idle | PumpStatus::Applied => return Ok(()),
+                PumpStatus::NeedsResync => self.resync_follower(id)?,
             }
         }
         Ok(())
     }
 
-    /// Rebuild a follower from a leader checkpoint (it fell off the log).
-    fn resync_follower(&mut self, id: ReplicaId) -> Result<()> {
+    /// One poll-and-apply pass for a follower, *without* resolving gaps:
+    /// [`PumpStatus::NeedsResync`] tells the caller a full resync is due
+    /// (which [`ReplicaGroup::pump_follower`] runs inline and lock-holding
+    /// callers run through the ticket API).
+    pub fn pump_follower_shallow(&mut self, id: ReplicaId) -> Result<PumpStatus> {
+        let idx = self.find_index(id)?;
+        {
+            let r = &self.replicas[idx];
+            if !r.alive || r.role != Role::Follower {
+                return Ok(PumpStatus::Idle);
+            }
+            if r.needs_full_resync {
+                return Ok(PumpStatus::NeedsResync);
+            }
+            // Chaos site: one follower's pump stalls (its peers still ship).
+            if failpoint::enabled()
+                && failpoint::check("group.pump", &r.dir.display().to_string())
+                    == Some(FaultAction::Stall)
+            {
+                return Ok(PumpStatus::Applied);
+            }
+        }
+        let outcome = {
+            let r = &mut self.replicas[idx];
+            let Some(binlog) = r.binlog.as_mut() else {
+                return Ok(PumpStatus::Idle);
+            };
+            binlog.poll()?
+        };
+        match outcome {
+            Poll::Records(records) => {
+                let r = &mut self.replicas[idx];
+                for record in &records {
+                    match r.db.apply_replicated(record) {
+                        Ok(_) => {}
+                        Err(StorageError::InvalidState(_)) => {
+                            // LSN gap inside the stream (possible after a
+                            // leader change): fall back to full resync.
+                            return Ok(PumpStatus::NeedsResync);
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Ok(PumpStatus::Applied)
+            }
+            Poll::Gap => Ok(PumpStatus::NeedsResync),
+        }
+    }
+
+    /// Prepare a full resync of `id` from the current leader. The returned
+    /// ticket owns a staging directory next to the follower's; nothing about
+    /// the follower changes until [`ReplicaGroup::complete_resync`].
+    pub fn begin_resync(&mut self, id: ReplicaId) -> Result<ResyncTicket> {
         let leader = self.leader_db()?;
         let leader_dir = {
             let l = self
@@ -526,19 +743,66 @@ impl ReplicaGroup {
                 .ok_or(Error::NoLeader)?;
             l.dir.clone()
         };
-        let idx = self.find_index(id)?;
+        let dir = self.find(id)?.dir.clone();
+        // Unique per ticket: two connections may race resyncs for the same
+        // follower with their group lock dropped, and sharing one staging
+        // path would let one copy clobber the other mid-stream.
+        static STAGING_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let staging = dir.with_extension(format!(
+            "resync-{}",
+            STAGING_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        Ok(ResyncTicket {
+            follower: id,
+            epoch: self.epoch,
+            leader,
+            leader_dir,
+            staging,
+        })
+    }
+
+    /// Atomically install a completed resync copy: swap the staged checkpoint
+    /// into the follower's directory, reopen it, and seek its binlog to where
+    /// the checkpoint ends. Refuses a ticket from an older epoch (the
+    /// leadership or membership changed while the copy ran) — the caller
+    /// simply retries against the new leader.
+    pub fn complete_resync(&mut self, ticket: ResyncTicket, info: CheckpointInfo) -> Result<()> {
+        if ticket.epoch != self.epoch {
+            std::fs::remove_dir_all(&ticket.staging).ok();
+            return Err(Error::ResyncSuperseded);
+        }
+        let idx = match self.find_index(ticket.follower) {
+            Ok(idx) => idx,
+            Err(e) => {
+                std::fs::remove_dir_all(&ticket.staging).ok();
+                return Err(e);
+            }
+        };
+        if self.replicas[idx].role != Role::Follower {
+            std::fs::remove_dir_all(&ticket.staging).ok();
+            return Err(Error::ResyncSuperseded);
+        }
         let dir = self.replicas[idx].dir.clone();
         std::fs::remove_dir_all(&dir).map_err(StorageError::Io)?;
-        let info = leader.checkpoint(&dir)?;
+        std::fs::rename(&ticket.staging, &dir).map_err(StorageError::Io)?;
         let db = Arc::new(Db::open(&dir, self.config.db)?);
         let r = &mut self.replicas[idx];
         r.db = db;
-        let mut binlog = Binlog::attach(&leader_dir);
+        let mut binlog = Binlog::attach(&ticket.leader_dir);
         binlog.seek(info.wal_segment, info.wal_offset);
         r.binlog = Some(binlog);
         r.needs_full_resync = false;
         r.resyncs += 1;
         Ok(())
+    }
+
+    /// Rebuild a follower from a leader checkpoint (it fell off the log).
+    /// Staged: a copy that fails mid-stream leaves the follower untouched on
+    /// its old (valid prefix) state instead of destroying it.
+    fn resync_follower(&mut self, id: ReplicaId) -> Result<()> {
+        let ticket = self.begin_resync(id)?;
+        let info = ticket.copy()?;
+        self.complete_resync(ticket, info)
     }
 
     /// Snapshot of the group's replication state.
@@ -601,6 +865,8 @@ mod tests {
             GroupConfig {
                 write_concern: concern,
                 db: DbConfig::small_for_tests(),
+                // Keep deliberate quorum failures fast in tests.
+                wait_timeout: Duration::from_millis(10),
             },
         )
         .unwrap();
@@ -803,6 +1069,156 @@ mod tests {
         let last = format!("r{}-k29", rounds - 1);
         let r = g.db(20).unwrap().get(last.as_bytes(), 0).unwrap();
         assert!(r.value.is_some());
+    }
+
+    #[test]
+    fn wait_timeout_returns_acked_so_far() {
+        let (_d, mut g) = group("wait-timeout", WriteConcern::Async);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        g.fail_replica(30).unwrap();
+        // Asking for 2 follower acks with one follower dead: a single pass
+        // reports 1 immediately...
+        assert_eq!(g.wait(lsn, 2, Duration::ZERO).unwrap(), 1);
+        // ...and a bounded wait returns the same count once the timeout
+        // expires rather than blocking forever.
+        let start = Instant::now();
+        assert_eq!(g.wait(lsn, 2, Duration::from_millis(30)).unwrap(), 1);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(25), "returned early");
+        assert!(elapsed < Duration::from_secs(5), "did not respect timeout");
+    }
+
+    #[test]
+    fn promote_skips_divergent_ex_leader() {
+        let (_d, mut g) = group("promote-divergent", WriteConcern::Async);
+        for i in 0..5 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        g.tick().unwrap();
+        // Leader 10 accumulates an unacked tail (LSN 7 > everyone's 5), dies.
+        g.leader_db().unwrap().put(b"u1", b"x", None, 0).unwrap();
+        g.leader_db().unwrap().put(b"u2", b"x", None, 0).unwrap();
+        g.fail_replica(10).unwrap();
+        assert_eq!(g.promote().unwrap(), 20);
+        // 10 revives flagged for resync but is never pumped before the new
+        // leader also dies. Its raw LSN (7) beats 30's (5) — promoting it
+        // would resurrect the divergent tail.
+        g.revive_replica(10).unwrap();
+        g.fail_replica(20).unwrap();
+        assert_eq!(
+            g.promote().unwrap(),
+            30,
+            "divergent ex-leader must not win promotion"
+        );
+        assert!(g.db(30).unwrap().get(b"u1", 0).unwrap().value.is_none());
+    }
+
+    #[test]
+    fn divergent_replica_never_counts_toward_write_concern() {
+        let (_d, mut g) = group("divergent-ack", WriteConcern::Quorum);
+        for i in 0..5 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        g.tick().unwrap();
+        // Leader 10 gains an unacked divergent tail (seq 6..7) and dies;
+        // 20 takes over at seq 5.
+        g.leader_db().unwrap().put(b"u1", b"x", None, 0).unwrap();
+        g.leader_db().unwrap().put(b"u2", b"x", None, 0).unwrap();
+        g.fail_replica(10).unwrap();
+        assert_eq!(g.promote().unwrap(), 20);
+        // 10 revives flagged for resync with a raw LSN (7) *above* the next
+        // write's LSN (6); 30 is down, so the quorum hinges on 10.
+        g.revive_replica(10).unwrap();
+        g.fail_replica(30).unwrap();
+        let lsn = g.put(b"k6", b"w", None, 0).unwrap();
+        assert_eq!(lsn, 6);
+        // The ack must be honest: 10 satisfied the quorum by actually
+        // resyncing to the new history (divergent tail discarded), not by
+        // counting its stale LSN.
+        let db10 = g.db(10).unwrap();
+        assert_eq!(
+            db10.get(b"k6", 0).unwrap().value.as_deref(),
+            Some(&b"w"[..]),
+            "quorum acked on a replica that does not hold the write"
+        );
+        assert!(db10.get(b"u1", 0).unwrap().value.is_none());
+        let s10 = g
+            .status()
+            .replicas
+            .iter()
+            .find(|r| r.id == 10)
+            .cloned()
+            .unwrap();
+        assert!(s10.resyncs >= 1, "divergent replica must resync to ack");
+    }
+
+    #[test]
+    fn stale_resync_ticket_is_refused_after_promotion() {
+        let (_d, mut g) = group("stale-ticket", WriteConcern::Async);
+        g.put(b"k", b"v", None, 0).unwrap();
+        g.tick().unwrap();
+        let ticket = g.begin_resync(30).unwrap();
+        let info = ticket.copy().unwrap();
+        // Leadership changes while the copy was (conceptually) in flight.
+        g.fail_replica(10).unwrap();
+        g.promote().unwrap();
+        match g.complete_resync(ticket, info) {
+            Err(Error::ResyncSuperseded) => {}
+            other => panic!("expected ResyncSuperseded, got {other:?}"),
+        }
+        // The follower still works and converges against the new leader.
+        g.put(b"after", b"w", None, 0).unwrap();
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(30).unwrap(), g.leader_db().unwrap().last_seq());
+    }
+
+    #[test]
+    fn failed_resync_copy_leaves_follower_intact() {
+        let _guard = failpoint::ScopedInjector::enable();
+        let (dir, mut g) = group("resync-fp", WriteConcern::Async);
+        for i in 0..8 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        g.tick().unwrap();
+        let leader_dir = dir.path().join("p1-r10");
+        // Follower 20's next poll reports a gap; the resulting checkpoint
+        // copy dies mid-stream.
+        failpoint::install(
+            "binlog.poll",
+            Some(leader_dir.to_str().unwrap()),
+            FaultAction::Gap,
+            0,
+            1,
+        );
+        failpoint::install(
+            "db.checkpoint",
+            Some(leader_dir.to_str().unwrap()),
+            FaultAction::Error,
+            0,
+            1,
+        );
+        let err = g.pump_follower(20);
+        assert!(err.is_err(), "injected checkpoint failure must surface");
+        // The follower's previous state survived the failed copy (the old
+        // code deleted the live directory before copying).
+        assert!(
+            g.db(20).unwrap().get(b"k0", 0).unwrap().value.is_some(),
+            "follower state destroyed by failed resync"
+        );
+        let staging_leaks: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("p1-r20.resync"))
+            .collect();
+        assert!(
+            staging_leaks.is_empty(),
+            "staging directories leaked: {staging_leaks:?}"
+        );
+        // With the fault gone the follower catches right back up.
+        failpoint::clear();
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(20).unwrap(), g.leader_db().unwrap().last_seq());
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! std::fs::remove_dir_all(&base).ok();
 //! let mut group = ReplicaGroup::bootstrap(
 //!     7, &base, &[1, 2, 3],
-//!     GroupConfig { write_concern: WriteConcern::Quorum, db: DbConfig::small_for_tests() },
+//!     GroupConfig::new(WriteConcern::Quorum, DbConfig::small_for_tests()),
 //! ).unwrap();
 //! let lsn = group.put(b"user:1", b"alice", None, 0).unwrap();
 //! // Quorum-acked: at least one follower already has the write.
@@ -58,8 +58,8 @@ pub use failover::{
     Throttle,
 };
 pub use group::{
-    GroupConfig, GroupStatus, ReadConsistency, ReplicaGroup, ReplicaId, ReplicaStatus, Role,
-    WriteConcern,
+    AdvanceStatus, GroupConfig, GroupStatus, PumpStatus, ReadConsistency, ReplicaGroup, ReplicaId,
+    ReplicaStatus, ResyncTicket, Role, WriteConcern,
 };
 
 /// Replication log sequence number — the storage engine's record `seq`.
@@ -85,6 +85,9 @@ pub enum Error {
     NoPromotionCandidate,
     /// The replica id is not a member of this group.
     UnknownReplica(u32),
+    /// A resync ticket was completed after the group's leadership or
+    /// membership changed; the copy is discarded and the caller retries.
+    ResyncSuperseded,
 }
 
 impl std::fmt::Display for Error {
@@ -98,6 +101,9 @@ impl std::fmt::Display for Error {
             Error::LeaderStillAlive => write!(f, "cannot promote: leader still alive"),
             Error::NoPromotionCandidate => write!(f, "no live follower to promote"),
             Error::UnknownReplica(id) => write!(f, "replica {id} is not a group member"),
+            Error::ResyncSuperseded => {
+                write!(f, "resync superseded by a leadership/membership change")
+            }
         }
     }
 }

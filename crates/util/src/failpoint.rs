@@ -1,0 +1,248 @@
+//! Deterministic fail points for chaos testing.
+//!
+//! A fail point is a named site in production code (`wal.append`,
+//! `binlog.poll`, …) that consults a process-global [`FaultInjector`] before
+//! doing its work. In normal operation the injector is disabled and the check
+//! is a single relaxed atomic load — the hot paths pay nothing. A chaos
+//! harness (see `abase-chaos`) enables the injector and installs [`FaultRule`]s
+//! from a seeded RNG: fail this append, tear that WAL tail at a byte offset,
+//! stall a follower's pump, force a binlog gap, delay an fsync. Because every
+//! rule is installed by the single-threaded chaos driver and consumed at
+//! deterministic points, a failing episode replays exactly from its seed.
+//!
+//! The design follows the `fail`-crate / FoundationDB style of *explicit*
+//! fail points rather than syscall interception: each site names the fault it
+//! can suffer, which doubles as documentation of the crash surface.
+//!
+//! ```
+//! use abase_util::failpoint::{self, FaultAction};
+//!
+//! let _guard = failpoint::ScopedInjector::enable();
+//! failpoint::install("doc.example", Some("ctx-a"), FaultAction::Error, 0, 1);
+//! assert_eq!(failpoint::check("doc.example", "ctx-b"), None); // matcher miss
+//! assert_eq!(
+//!     failpoint::check("doc.example", "some ctx-a path"),
+//!     Some(FaultAction::Error)
+//! );
+//! assert_eq!(failpoint::check("doc.example", "some ctx-a path"), None); // spent
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a triggered fail point should do. Interpretation is site-specific;
+/// sites ignore actions that make no sense for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return an injected I/O error from the site.
+    Error,
+    /// Write only `keep_bytes` of the frame being appended, flush what was
+    /// written, then fail — a crash mid-append leaving a torn tail at an
+    /// arbitrary byte offset. The site stays poisoned afterwards (the
+    /// "process" died; only reopening recovers).
+    TornWrite {
+        /// Bytes of the frame that reach the file before the tear.
+        keep_bytes: u64,
+    },
+    /// Sleep for this many milliseconds before proceeding normally
+    /// (delayed fsync / slow disk).
+    DelayMs(u64),
+    /// Report no progress: a pump/poll site returns empty-handed without
+    /// advancing its cursor (a stalled follower).
+    Stall,
+    /// Force a binlog gap: the tailing cursor pretends its segment was
+    /// rotated away, pushing the follower into a full resync.
+    Gap,
+}
+
+/// One installed rule: fires `count` times at `point` (after skipping the
+/// first `skip` matching hits) whenever `matcher` is a substring of the
+/// site's context string.
+#[derive(Debug, Clone)]
+struct FaultRule {
+    matcher: Option<String>,
+    action: FaultAction,
+    /// Matching hits to let through before firing.
+    skip: u32,
+    /// Remaining firings; 0 = exhausted.
+    remaining: u32,
+}
+
+/// The process-global fail-point registry.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    rules: Mutex<HashMap<&'static str, Vec<FaultRule>>>,
+    /// Total fired faults per point, for harness assertions.
+    fired: Mutex<HashMap<&'static str, u64>>,
+}
+
+fn injector() -> &'static FaultInjector {
+    static INJECTOR: OnceLock<FaultInjector> = OnceLock::new();
+    INJECTOR.get_or_init(FaultInjector::default)
+}
+
+impl FaultInjector {
+    /// Is fault injection active at all?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+/// Is injection currently enabled? Sites whose context string is expensive to
+/// build can guard on this before calling [`check`].
+pub fn enabled() -> bool {
+    injector().is_enabled()
+}
+
+/// Turn the injector on (rules start being consulted).
+pub fn enable() {
+    injector().enabled.store(true, Ordering::SeqCst);
+}
+
+/// Turn the injector off and drop every rule and counter.
+pub fn disable() {
+    let inj = injector();
+    inj.enabled.store(false, Ordering::SeqCst);
+    inj.rules.lock().unwrap().clear();
+    inj.fired.lock().unwrap().clear();
+}
+
+/// Drop all rules and counters but keep the injector enabled.
+pub fn clear() {
+    let inj = injector();
+    inj.rules.lock().unwrap().clear();
+    inj.fired.lock().unwrap().clear();
+}
+
+/// Install a rule at `point`: fire `action` on up to `count` hits whose
+/// context contains `matcher` (any context when `None`), ignoring the first
+/// `skip` matching hits.
+pub fn install(
+    point: &'static str,
+    matcher: Option<&str>,
+    action: FaultAction,
+    skip: u32,
+    count: u32,
+) {
+    injector()
+        .rules
+        .lock()
+        .unwrap()
+        .entry(point)
+        .or_default()
+        .push(FaultRule {
+            matcher: matcher.map(str::to_string),
+            action,
+            skip,
+            remaining: count,
+        });
+}
+
+/// Consult the injector at a fail-point site. Returns the action to take, or
+/// `None` (the overwhelmingly common case) to proceed normally.
+pub fn check(point: &'static str, context: &str) -> Option<FaultAction> {
+    let inj = injector();
+    if !inj.is_enabled() {
+        return None;
+    }
+    let mut rules = inj.rules.lock().unwrap();
+    let list = rules.get_mut(point)?;
+    for rule in list.iter_mut() {
+        let matches = rule
+            .matcher
+            .as_deref()
+            .is_none_or(|needle| context.contains(needle));
+        if !matches || rule.remaining == 0 {
+            continue;
+        }
+        if rule.skip > 0 {
+            rule.skip -= 1;
+            continue;
+        }
+        rule.remaining -= 1;
+        let action = rule.action;
+        drop(rules);
+        *inj.fired.lock().unwrap().entry(point).or_default() += 1;
+        if let FaultAction::DelayMs(ms) = action {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        return Some(action);
+    }
+    None
+}
+
+/// How many faults have fired at `point` since the last [`clear`]/[`disable`].
+pub fn fired(point: &'static str) -> u64 {
+    injector()
+        .fired
+        .lock()
+        .unwrap()
+        .get(point)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// RAII enable/disable, for tests that must not leak rules into neighbours.
+/// The registry is process-global, so tests using it must serialize (the
+/// chaos harness runs episodes sequentially for exactly this reason).
+#[derive(Debug)]
+pub struct ScopedInjector(());
+
+impl ScopedInjector {
+    /// Enable injection until the guard drops.
+    pub fn enable() -> Self {
+        enable();
+        Self(())
+    }
+}
+
+impl Drop for ScopedInjector {
+    fn drop(&mut self) {
+        disable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share the global injector; one test exercises every behaviour
+    // so parallel test threads never race on the registry.
+    #[test]
+    fn rules_match_count_skip_and_clear() {
+        let _guard = ScopedInjector::enable();
+        // Count + matcher.
+        install("t.point", Some("wal-7"), FaultAction::Error, 0, 2);
+        assert_eq!(check("t.point", "/data/wal-9.log"), None);
+        assert_eq!(
+            check("t.point", "/data/wal-7.log"),
+            Some(FaultAction::Error)
+        );
+        assert_eq!(
+            check("t.point", "/data/wal-7.log"),
+            Some(FaultAction::Error)
+        );
+        assert_eq!(check("t.point", "/data/wal-7.log"), None, "count spent");
+        assert_eq!(fired("t.point"), 2);
+        // Skip lets early hits through.
+        install("t.skip", None, FaultAction::Stall, 2, 1);
+        assert_eq!(check("t.skip", "x"), None);
+        assert_eq!(check("t.skip", "x"), None);
+        assert_eq!(check("t.skip", "x"), Some(FaultAction::Stall));
+        assert_eq!(check("t.skip", "x"), None);
+        // Unknown points are silent.
+        assert_eq!(check("t.unknown", "x"), None);
+        // Clear keeps the injector armed but forgets rules.
+        install("t.cleared", None, FaultAction::Gap, 0, 1);
+        clear();
+        assert_eq!(check("t.cleared", "x"), None);
+        assert_eq!(fired("t.point"), 0);
+        // Disabled: rules are never consulted.
+        disable();
+        install("t.off", None, FaultAction::Error, 0, 1);
+        assert_eq!(check("t.off", "x"), None);
+    }
+}

@@ -11,10 +11,14 @@
 //! * [`series`] — fixed-interval time series with the hourly resampling and
 //!   hour-of-day max aggregation used by the rescheduler's load vectors (§5.3).
 //! * [`testdir`] — self-cleaning temp directories shared by every crate's tests.
+//! * [`failpoint`] — deterministic fault injection: named fail points in the
+//!   storage and replication planes that a chaos harness arms from a seeded
+//!   RNG (disabled — one atomic load — in normal operation).
 
 #![deny(missing_docs)]
 
 pub mod clock;
+pub mod failpoint;
 pub mod histogram;
 pub mod series;
 pub mod stats;

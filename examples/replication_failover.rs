@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             db: DbConfig::default(),
             // Model 8 MB/s per disk so the reconstruction timing is visible.
             recovery_bandwidth: Some(8e6),
+            ..Default::default()
         },
     );
     for partition in 0..3u64 {

@@ -1,0 +1,67 @@
+//! Pinned chaos regression seeds.
+//!
+//! Every seed in `PINNED_SEEDS` replays one deterministic fault-injection
+//! episode (see `abase-chaos`): the full plan — node kills, binlog gaps, torn
+//! WAL tails, failed flushes, mid-resync leader deaths — is a pure function
+//! of the seed, so a seed that ever caught a bug stays a one-line regression
+//! test here. When the chaos CI job reports `CHAOS_SEED=<n>`, reproduce with
+//! `cargo run -p abase-chaos -- --episodes 1 --seed <n>` and append `<n>` to
+//! the list once fixed.
+//!
+//! The episodes share the process-global fail-point registry, so they run
+//! inside a single test function, strictly sequentially.
+
+use abase_chaos::{ChaosConfig, ChaosRunner, FaultPlan};
+
+/// Seeds with known-interesting fault schedules. The list was drawn from
+/// sweeps where each seed caught at least one deliberately injected
+/// regression (acking writes without replication → seeds 9, 21, 31; reverting
+/// the commit retry/`WAIT`-timeout to a single pump pass → seeds 13, 48, 49)
+/// or exercises a distinct fault mix (torn tails + kills: 2; mid-resync
+/// leader death: 7).
+const PINNED_SEEDS: &[u64] = &[2, 7, 9, 13, 21, 31, 48, 49];
+
+#[test]
+fn pinned_regression_seeds_stay_green() {
+    let runner = ChaosRunner::new(ChaosConfig::default());
+    let mut failures = Vec::new();
+    let mut acked = 0u64;
+    let mut kills = 0u64;
+    for &seed in PINNED_SEEDS {
+        let report = runner.run_episode(seed);
+        acked += report.writes_acked;
+        kills += report.kills;
+        for violation in &report.violations {
+            eprintln!("CHAOS_SEED={seed}: {violation}");
+        }
+        if !report.ok() {
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "pinned chaos seeds regressed: {failures:?} (replay with \
+         `cargo run -p abase-chaos -- --episodes 1 --seed <n>`)"
+    );
+    // The pinned list must actually exercise the machinery, not vacuously
+    // pass on an idle cluster.
+    assert!(
+        acked > 1_000,
+        "pinned episodes acked too few writes: {acked}"
+    );
+    assert!(kills >= 8, "pinned episodes killed too few nodes: {kills}");
+}
+
+#[test]
+fn fault_plans_replay_identically() {
+    // Seed → plan is the whole replayability story; pin it.
+    let config = ChaosConfig::default();
+    for &seed in PINNED_SEEDS {
+        assert_eq!(
+            FaultPlan::generate(seed, &config),
+            FaultPlan::generate(seed, &config),
+            "plan for seed {seed} is not deterministic"
+        );
+        assert!(!FaultPlan::generate(seed, &config).events.is_empty());
+    }
+}

@@ -267,3 +267,63 @@ proptest! {
         prop_assert_eq!(hod.values().len(), values.len());
     }
 }
+
+// ---------- Failover promotion ----------
+
+proptest! {
+    /// `plan_node_failure` promotion is a pure function of the follower LSNs:
+    /// the most-caught-up *promotable* follower wins, ties break
+    /// deterministically toward the lowest node id, and a gapped/divergent
+    /// follower (`None` from the LSN oracle) is never promoted — even when
+    /// its raw LSN would top the group. Re-planning from identical state
+    /// yields the identical plan.
+    #[test]
+    fn promotion_picks_deterministic_ungapped_maximum(
+        followers in prop::collection::vec((1u64..6, any::<bool>()), 2..6),
+        spare_count in 0usize..3)
+    {
+        use abase::core::meta::{MetaServer, ReplicaSet};
+
+        // Followers are nodes 1..=k with (lsn, gapped); duplicated LSNs are
+        // the interesting (tie) case and the generator produces them often.
+        let ids: Vec<u32> = (1..=followers.len() as u32).collect();
+        let lsn_of = |node: u32| -> Option<u64> {
+            let (lsn, gapped) = followers[(node - 1) as usize];
+            (!gapped).then_some(lsn)
+        };
+        let spares: Vec<u32> = (0..spare_count as u32).map(|i| 100 + i).collect();
+        let available: Vec<u32> = ids.iter().copied().chain(spares).collect();
+        let plan = |_: ()| {
+            let mut meta = MetaServer::new(1_000_000);
+            meta.assign_replica_group(
+                1,
+                77,
+                ReplicaSet { leader: 0, followers: ids.clone() },
+            );
+            meta.plan_node_failure(0, |_, n| lsn_of(n), &available)
+        };
+        let a = plan(());
+        let b = plan(());
+        prop_assert_eq!(&a, &b, "identical state must yield identical plans");
+
+        // Expected winner, computed independently: max LSN among ungapped,
+        // lowest id on ties.
+        let expected = ids
+            .iter()
+            .filter_map(|&n| lsn_of(n).map(|lsn| (n, lsn)))
+            .max_by(|(na, la), (nb, lb)| la.cmp(lb).then(nb.cmp(na)))
+            .map(|(n, _)| n);
+        match expected {
+            None => prop_assert!(
+                a.promotions.is_empty(),
+                "all followers gapped, yet {:?} was promoted", a.promotions
+            ),
+            Some(winner) => {
+                prop_assert_eq!(a.promotions.len(), 1);
+                prop_assert_eq!(a.promotions[0].new_leader, winner);
+                let (_, gapped) = followers[(winner - 1) as usize];
+                prop_assert!(!gapped, "a gapped replica was promoted");
+            }
+        }
+    }
+}

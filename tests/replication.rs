@@ -26,6 +26,7 @@ fn quorum_writes_survive_leader_failure() {
             write_concern: WriteConcern::Quorum,
             db: DbConfig::small_for_tests(),
             recovery_bandwidth: None,
+            ..Default::default()
         },
     );
     cluster.create_partition(1, 100).unwrap();
@@ -185,6 +186,7 @@ fn async_cluster_converges_on_tick_and_fences_reads() {
             write_concern: WriteConcern::Async,
             db: DbConfig::small_for_tests(),
             recovery_bandwidth: None,
+            ..Default::default()
         },
     );
     cluster.create_partition(7, 1).unwrap();
