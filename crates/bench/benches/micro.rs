@@ -182,13 +182,14 @@ fn bench_rescheduler(c: &mut Criterion) {
                 );
                 for id in 0..800u64 {
                     let node = (id % 30) as usize;
-                    pool.nodes[node].add_replica(ReplicaLoad {
+                    pool.nodes[node].add_replica(ReplicaLoad::from_total(
                         id,
-                        tenant: (id % 50) as u32,
-                        partition: id,
-                        ru: LoadVector::flat(rng.gen_range(5.0..40.0)),
-                        storage: rng.gen_range(50.0..400.0),
-                    });
+                        (id % 50) as u32,
+                        id,
+                        LoadVector::flat(rng.gen_range(5.0..40.0)),
+                        0.7,
+                        rng.gen_range(50.0..400.0),
+                    ));
                 }
                 pool
             },

@@ -1,7 +1,8 @@
-//! Replication ablation: write-concern cost and recovery parallelism.
+//! Replication ablation: write-concern cost, recovery parallelism, and
+//! follower-read routing.
 //!
-//! Two experiments over real 3-replica WAL-shipping groups, emitting one JSON
-//! object so downstream tooling can diff runs:
+//! Three experiments over real 3-replica WAL-shipping groups, emitting one
+//! JSON object so downstream tooling can diff runs:
 //!
 //! 1. **Write concern** — identical write streams against `Async`, `Quorum`,
 //!    and `All` groups; reports throughput and latency percentiles. `Async`
@@ -11,25 +12,66 @@
 //!    one source disk vs. in parallel from N survivors under the same
 //!    modeled per-disk bandwidth, next to the §3.3 closed-form
 //!    [`RecoveryModel`] prediction the measurement should reproduce.
+//! 3. **Follower reads** — the read-routing ablation: the same read stream
+//!    against the leader replica only vs. routed across every replica,
+//!    reporting read throughput, p50/p99, per-replica-count scaling, and the
+//!    observed staleness (LSN lag at read time) of `Eventual` routed reads
+//!    under an async write trickle.
+//!
+//! Set `ABASE_BENCH_SMOKE=1` to shrink every workload for a CI smoke run —
+//! the JSON shape is identical, only the sample counts drop.
 
 use abase_bench::banner;
+use abase_core::cluster::{ReplicatedCluster, ReplicatedClusterConfig};
 use abase_core::meta::RecoveryModel;
+use abase_core::node::DataNodeConfig;
 use abase_lavastore::{Db, DbConfig};
 use abase_replication::{
-    reconstruct_parallel, reconstruct_single_source, GroupConfig, ReconstructionTask, ReplicaGroup,
-    WriteConcern,
+    reconstruct_parallel, reconstruct_single_source, GroupConfig, ReadConsistency,
+    ReconstructionTask, ReplicaGroup, WriteConcern,
 };
 use abase_util::LatencyHistogram;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-const WRITES: usize = 400;
 const VALUE_BYTES: usize = 256;
 /// Modeled per-node disk bandwidth for the recovery experiment (bytes/sec).
 const DISK_BW: f64 = 4e6;
 /// Surviving source nodes in the recovery experiment.
 const SURVIVORS: usize = 3;
+/// Replicas in the follower-read experiment's group.
+const READ_REPLICAS: usize = 3;
+
+/// Workload sizes, shrunk under `ABASE_BENCH_SMOKE=1`.
+struct Sizes {
+    writes: usize,
+    recovery_keys: usize,
+    read_keys: usize,
+    reads_per_thread: usize,
+    staleness_writes: usize,
+}
+
+fn sizes() -> Sizes {
+    let smoke = std::env::var("ABASE_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    if smoke {
+        Sizes {
+            writes: 60,
+            recovery_keys: 120,
+            read_keys: 200,
+            reads_per_thread: 1_000,
+            staleness_writes: 40,
+        }
+    } else {
+        Sizes {
+            writes: 400,
+            recovery_keys: 800,
+            read_keys: 2_000,
+            reads_per_thread: 20_000,
+            staleness_writes: 200,
+        }
+    }
+}
 
 struct ConcernResult {
     name: &'static str,
@@ -39,7 +81,12 @@ struct ConcernResult {
     acked_all: bool,
 }
 
-fn bench_concern(base: &Path, concern: WriteConcern, name: &'static str) -> ConcernResult {
+fn bench_concern(
+    base: &Path,
+    concern: WriteConcern,
+    name: &'static str,
+    writes: usize,
+) -> ConcernResult {
     let dir = base.join(name);
     std::fs::remove_dir_all(&dir).ok();
     let mut group = ReplicaGroup::bootstrap(
@@ -53,7 +100,7 @@ fn bench_concern(base: &Path, concern: WriteConcern, name: &'static str) -> Conc
     let mut latencies = LatencyHistogram::for_latency_micros();
     let started = Instant::now();
     let mut last_lsn = 0;
-    for i in 0..WRITES {
+    for i in 0..writes {
         let key = format!("key-{i:06}");
         let t0 = Instant::now();
         last_lsn = group
@@ -68,10 +115,151 @@ fn bench_concern(base: &Path, concern: WriteConcern, name: &'static str) -> Conc
     std::fs::remove_dir_all(&dir).ok();
     ConcernResult {
         name,
-        throughput: WRITES as f64 / elapsed,
+        throughput: writes as f64 / elapsed,
         p50_us: latencies.quantile(0.50).unwrap_or(0.0),
         p99_us: latencies.quantile(0.99).unwrap_or(0.0),
         acked_all,
+    }
+}
+
+/// Measured outcome of one read-routing mode.
+struct ReadModeResult {
+    throughput: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Hammer `dbs` with `threads` concurrent readers (thread `t` pinned to
+/// replica `t % dbs.len()` — leader-only passes a single-element slice) and
+/// report aggregate throughput plus latency percentiles.
+fn bench_reads(
+    dbs: &[Arc<Db>],
+    threads: usize,
+    keys: usize,
+    reads_per_thread: usize,
+) -> ReadModeResult {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = Arc::clone(&dbs[t % dbs.len()]);
+            std::thread::spawn(move || {
+                let mut hist = LatencyHistogram::for_latency_micros();
+                for i in 0..reads_per_thread {
+                    let key = format!("key-{:06}", (i * 31 + t * 7) % keys);
+                    let t0 = Instant::now();
+                    let r = db.get(key.as_bytes(), 0).expect("replica read");
+                    assert!(r.value.is_some(), "seeded key missing on replica");
+                    hist.record(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                hist
+            })
+        })
+        .collect();
+    let mut merged = LatencyHistogram::for_latency_micros();
+    for handle in handles {
+        merged.merge(&handle.join().expect("reader thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    ReadModeResult {
+        throughput: (threads * reads_per_thread) as f64 / elapsed,
+        p50_us: merged.quantile(0.50).unwrap_or(0.0),
+        p99_us: merged.quantile(0.99).unwrap_or(0.0),
+    }
+}
+
+/// Modeled sustainable read throughput for one routing mode: route `reads`
+/// through a real cluster, then divide a node's RU/s budget by the *hottest*
+/// replica's share of the read RU — the node that saturates first caps the
+/// aggregate. Leader-only routing pins every read on one node; routed
+/// `Eventual` reads spread over the followers, so capacity grows with the
+/// replica count.
+fn modeled_read_capacity(base: &Path, replicas: u32, reads: usize, leader_only: bool) -> f64 {
+    let dir = base.join(format!(
+        "capacity-{replicas}-{}",
+        if leader_only { "leader" } else { "routed" }
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut cluster = ReplicatedCluster::new(
+        &dir,
+        replicas,
+        ReplicatedClusterConfig {
+            replication_factor: replicas as usize,
+            write_concern: WriteConcern::All,
+            db: DbConfig::small_for_tests(),
+            recovery_bandwidth: None,
+            ..Default::default()
+        },
+    );
+    cluster.create_partition(1, 0).expect("partition");
+    let keys = 64usize;
+    for i in 0..keys {
+        cluster
+            .write(0, format!("key-{i:03}").as_bytes(), &[5u8; 128], 0)
+            .expect("seed write");
+    }
+    cluster.tick().expect("converge");
+    let consistency = if leader_only {
+        ReadConsistency::Leader
+    } else {
+        ReadConsistency::Eventual
+    };
+    for i in 0..reads {
+        cluster
+            .read_routed(0, format!("key-{:03}", i % keys).as_bytes(), consistency, 0)
+            .expect("routed read");
+    }
+    let members = cluster.meta().replica_set(0).expect("set").members();
+    let max_node_read_ru = members
+        .iter()
+        .map(|&n| cluster.node(n).expect("node").replica_ru_split(0).read_ru)
+        .fold(0.0f64, f64::max);
+    let node_ru_per_sec = DataNodeConfig::default().cpu_ru_per_sec;
+    std::fs::remove_dir_all(&dir).ok();
+    node_ru_per_sec * reads as f64 / max_node_read_ru.max(1e-9)
+}
+
+/// Observed staleness of `Eventual` routed reads under an async write
+/// trickle: after each un-pumped write, one routed read records the serving
+/// replica's LSN lag. After a final pump the lag must collapse to zero.
+struct StalenessResult {
+    reads: usize,
+    mean_lag: f64,
+    max_lag: u64,
+    lag_after_converge: u64,
+}
+
+fn bench_staleness(base: &Path, writes: usize) -> StalenessResult {
+    let dir = base.join("staleness");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut group = ReplicaGroup::bootstrap(
+        1,
+        &dir,
+        &[1, 2, 3],
+        GroupConfig::new(WriteConcern::Async, DbConfig::default()),
+    )
+    .expect("bootstrap group");
+    let mut lag_sum = 0u64;
+    let mut max_lag = 0u64;
+    for i in 0..writes {
+        group
+            .put(format!("s-{i:06}").as_bytes(), &[3u8; 64], None, 0)
+            .expect("async write");
+        let routed = group
+            .read_routed(b"s-000000", ReadConsistency::Eventual, 0)
+            .expect("routed read");
+        lag_sum += routed.lag;
+        max_lag = max_lag.max(routed.lag);
+    }
+    group.tick().expect("converge");
+    let after = group
+        .read_routed(b"s-000000", ReadConsistency::Eventual, 0)
+        .expect("routed read after converge");
+    std::fs::remove_dir_all(&dir).ok();
+    StalenessResult {
+        reads: writes,
+        mean_lag: lag_sum as f64 / writes.max(1) as f64,
+        max_lag,
+        lag_after_converge: after.lag,
     }
 }
 
@@ -101,23 +289,24 @@ fn recovery_tasks(base: &Path, sources: &[Arc<Db>], tag: &str) -> Vec<Reconstruc
 fn main() {
     banner(
         "ablation_replication",
-        "write-concern cost and §3.3 recovery parallelism",
-        "parallel reconstruction across N survivors is ≈N× faster than a single replacement node",
+        "write-concern cost, §3.3 recovery parallelism, follower-read routing",
+        "parallel reconstruction is ≈N× faster; routed reads scale with replica count",
     );
+    let sz = sizes();
     let base: PathBuf = std::env::temp_dir().join(format!("abase-ablrepl-{}", std::process::id()));
     std::fs::remove_dir_all(&base).ok();
     std::fs::create_dir_all(&base).expect("create bench dir");
 
     // -- Experiment 1: write concerns ------------------------------------
     let concerns = [
-        bench_concern(&base, WriteConcern::Async, "async"),
-        bench_concern(&base, WriteConcern::Quorum, "quorum"),
-        bench_concern(&base, WriteConcern::All, "all"),
+        bench_concern(&base, WriteConcern::Async, "async", sz.writes),
+        bench_concern(&base, WriteConcern::Quorum, "quorum", sz.writes),
+        bench_concern(&base, WriteConcern::All, "all", sz.writes),
     ];
 
     // -- Experiment 2: recovery parallelism ------------------------------
     let sources: Vec<Arc<Db>> = (0..SURVIVORS)
-        .map(|i| seeded_source(&base.join(format!("src-{i}")), 800))
+        .map(|i| seeded_source(&base.join(format!("src-{i}")), sz.recovery_keys))
         .collect();
     let single =
         reconstruct_single_source(recovery_tasks(&base, &sources, "single"), Some(DISK_BW))
@@ -132,9 +321,59 @@ fn main() {
     };
     let model_speedup = model.single_node_recovery_secs() / model.parallel_recovery_secs();
 
+    // -- Experiment 3: follower-read routing ------------------------------
+    // Seed a fully converged group (All: every put lands on every replica),
+    // then run the identical read stream leader-only vs routed.
+    let read_dir = base.join("follower-reads");
+    let mut read_group = ReplicaGroup::bootstrap(
+        1,
+        &read_dir,
+        &[1, 2, 3],
+        GroupConfig::new(WriteConcern::All, DbConfig::default()),
+    )
+    .expect("bootstrap read group");
+    for i in 0..sz.read_keys {
+        read_group
+            .put(
+                format!("key-{i:06}").as_bytes(),
+                &[9u8; VALUE_BYTES],
+                None,
+                0,
+            )
+            .expect("seed write");
+    }
+    let replica_dbs: Vec<Arc<Db>> = [1, 2, 3]
+        .iter()
+        .map(|&id| read_group.db(id).expect("replica db"))
+        .collect();
+    let leader_only = bench_reads(
+        &replica_dbs[..1],
+        READ_REPLICAS,
+        sz.read_keys,
+        sz.reads_per_thread,
+    );
+    let routed = bench_reads(
+        &replica_dbs,
+        READ_REPLICAS,
+        sz.read_keys,
+        sz.reads_per_thread,
+    );
+    drop(read_group);
+    // Scaling curve (cost model): sustainable aggregate read throughput
+    // before the hottest replica saturates its node's RU budget, at growing
+    // replica counts — routed `Eventual` reads spread over the followers, so
+    // the capacity grows where leader-only routing stays flat.
+    let capacity_reads = sz.staleness_writes * 6;
+    let leader_capacity = modeled_read_capacity(&base, 3, capacity_reads, true);
+    let scaling: Vec<(u32, f64)> = [2u32, 3, 4]
+        .iter()
+        .map(|&n| (n, modeled_read_capacity(&base, n, capacity_reads, false)))
+        .collect();
+    let staleness = bench_staleness(&base, sz.staleness_writes);
+
     // -- JSON report ------------------------------------------------------
     println!("{{");
-    println!("  \"writes\": {WRITES},");
+    println!("  \"writes\": {},", sz.writes);
     println!("  \"value_bytes\": {VALUE_BYTES},");
     println!("  \"write_concerns\": {{");
     for (i, c) in concerns.iter().enumerate() {
@@ -170,6 +409,33 @@ fn main() {
     println!(
         "    \"model_parallel_secs\": {:.3}",
         model.parallel_recovery_secs()
+    );
+    println!("  }},");
+    println!("  \"follower_reads\": {{");
+    println!("    \"replicas\": {READ_REPLICAS},");
+    println!(
+        "    \"reads_per_mode\": {},",
+        READ_REPLICAS * sz.reads_per_thread
+    );
+    println!(
+        "    \"leader_only\": {{\"read_throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        leader_only.throughput, leader_only.p50_us, leader_only.p99_us
+    );
+    println!(
+        "    \"routed\": {{\"read_throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        routed.throughput, routed.p50_us, routed.p99_us
+    );
+    println!("    \"model_leader_only_capacity_rps\": {leader_capacity:.1},");
+    println!("    \"scaling_read_capacity_rps\": {{");
+    for (i, (n, throughput)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        println!("      \"{n}\": {throughput:.1}{comma}");
+    }
+    println!("    }},");
+    println!(
+        "    \"observed_staleness\": {{\"reads\": {}, \"mean_lag_records\": {:.2}, \
+         \"max_lag_records\": {}, \"lag_after_converge\": {}}}",
+        staleness.reads, staleness.mean_lag, staleness.max_lag, staleness.lag_after_converge
     );
     println!("  }}");
     println!("}}");

@@ -43,13 +43,14 @@ fn build_pool(n_nodes: u32, seed: u64) -> PoolState {
             }
             // Cluster of ~20 nodes around the tenant's home node.
             let node = (home + rng.gen_range(0..20u32)) % n_nodes;
-            nodes[node as usize].add_replica(ReplicaLoad {
-                id: replica_id,
-                tenant: tenant.id,
-                partition: partition_id + u64::from(r / 2),
-                ru: LoadVector(ru),
-                storage: 4_000.0 * tenant.storage / replicas as f64,
-            });
+            nodes[node as usize].add_replica(ReplicaLoad::from_total(
+                replica_id,
+                tenant.id,
+                partition_id + u64::from(r / 2),
+                LoadVector(ru),
+                0.7,
+                4_000.0 * tenant.storage / replicas as f64,
+            ));
             replica_id += 1;
         }
         partition_id += u64::from(replicas / 2);

@@ -31,13 +31,14 @@ fn main() {
             let phase = h as f64 / 24.0 * std::f64::consts::TAU + phase_shift;
             *slot = peak * (1.0 + 0.3 * phase.sin()).max(0.05);
         }
-        pool.nodes[node].add_replica(ReplicaLoad {
+        pool.nodes[node].add_replica(ReplicaLoad::from_total(
             id,
-            tenant: (id % 40) as u32,
-            partition: id,
-            ru: LoadVector(ru),
-            storage: rng.gen_range(100.0..900.0),
-        });
+            (id % 40) as u32,
+            id,
+            LoadVector(ru),
+            0.7,
+            rng.gen_range(100.0..900.0),
+        ));
     }
     let rescheduler = Rescheduler::default();
     let mut max_series = Vec::new();

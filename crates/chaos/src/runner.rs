@@ -12,7 +12,9 @@
 //! 3. **LSN monotonicity** — a replica's applied LSN never goes backwards
 //!    except across an explicit full resync (counted) or replacement.
 //! 4. **Read-your-writes fencing** — a fenced read at an acked write's LSN
-//!    never observes earlier state.
+//!    never observes earlier state. Fenced reads go through the cluster's
+//!    consistency-aware read router (proxy-route semantics): the invariant
+//!    therefore covers the routing layer, not just the group's own picker.
 //! 5. **Recovery bandwidth** — parallel reconstruction never exceeds the
 //!    §3.3 multi-node budget (`per-node bandwidth × distinct sources`).
 //! 6. **Bounded-fault liveness** — a write-concern commit never fails while
@@ -92,6 +94,13 @@ pub struct EpisodeReport {
     pub writes_failed: u64,
     /// Reads issued.
     pub reads: u64,
+    /// Reads the router served from follower replicas.
+    pub follower_reads: u64,
+    /// `Eventual` reads that observed a value older than the key's last
+    /// acked op (legal staleness, counted for the lag-attribution check).
+    pub stale_reads: u64,
+    /// Highest LSN lag observed at read time across routed reads.
+    pub max_observed_lag: u64,
     /// Fenced read-your-writes checks performed.
     pub ryw_checks: u64,
     /// Nodes killed (direct events plus torn-tail / mid-resync escalations).
@@ -190,6 +199,7 @@ impl ChaosRunner {
                 db: DbConfig::small_for_tests(),
                 recovery_bandwidth: Some(cfg.recovery_bandwidth),
                 wait_timeout: cfg.wait_timeout,
+                ..Default::default()
             },
         );
         let mut gens: Vec<RequestGen> = Vec::new();
@@ -223,6 +233,9 @@ impl ChaosRunner {
             writes_acked: 0,
             writes_failed: 0,
             reads: 0,
+            follower_reads: 0,
+            stale_reads: 0,
+            max_observed_lag: 0,
             ryw_checks: 0,
             kills: 0,
             resyncs: 0,
@@ -273,12 +286,55 @@ impl ChaosRunner {
                         }
                     } else {
                         report.reads += 1;
-                        if let Err(e) =
-                            cluster.read(p, spec.key.as_bytes(), ReadConsistency::Eventual, now)
-                        {
-                            report
-                                .violations
-                                .push(format!("eventual read failed on p{p} at tick {tick}: {e}"));
+                        match cluster.read_routed(
+                            p,
+                            spec.key.as_bytes(),
+                            ReadConsistency::Eventual,
+                            now,
+                        ) {
+                            Ok(read) => {
+                                report.max_observed_lag = report.max_observed_lag.max(read.lag);
+                                if !read.is_leader {
+                                    report.follower_reads += 1;
+                                }
+                                let found = read.result.value.as_deref().and_then(parse_op);
+                                let state = keys.get(&p).and_then(|m| m.get(&spec.key));
+                                if let (Some(op), Some(state)) = (found, state) {
+                                    if !state.written_ops.contains(&op) {
+                                        report.violations.push(format!(
+                                            "PHANTOM READ: {} on p{p} served op {op} that was \
+                                             never written (replica {})",
+                                            spec.key, read.node
+                                        ));
+                                    }
+                                }
+                                // Stale-follower attribution: staleness is
+                                // legal for Eventual, but a replica that
+                                // reported lag 0 has applied every acked
+                                // write — older state at lag 0 is a routing
+                                // bug, not staleness.
+                                let acked = state.and_then(|s| s.last_acked_op);
+                                let is_stale = match (acked, found) {
+                                    (Some(a), Some(f)) => f < a,
+                                    (Some(_), None) => true,
+                                    _ => false,
+                                };
+                                if is_stale {
+                                    report.stale_reads += 1;
+                                    if read.lag == 0 {
+                                        report.violations.push(format!(
+                                            "STALE READ AT LAG 0: {} on p{p} tick {tick} served \
+                                             {found:?} below acked {acked:?} by replica {}",
+                                            spec.key, read.node
+                                        ));
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                report.violations.push(format!(
+                                    "eventual read failed on p{p} at tick {tick}: {e}"
+                                ));
+                            }
                         }
                     }
                 }
@@ -620,7 +676,10 @@ impl ChaosRunner {
     }
 }
 
-/// Invariant 4: a fenced read at an acked LSN must observe the write.
+/// Invariant 4: a fenced read at an acked LSN must observe the write — now
+/// through the cluster's read router, so the invariant holds end-to-end over
+/// the proxy route (meta health view → router decision → group fence check),
+/// whichever replica the router picked.
 fn check_ryw(
     cluster: &mut ReplicatedCluster,
     partition: u64,
@@ -630,18 +689,25 @@ fn check_ryw(
     now: u64,
     report: &mut EpisodeReport,
 ) {
-    match cluster.read(
+    match cluster.read_routed(
         partition,
         key.as_bytes(),
         ReadConsistency::ReadYourWrites(lsn),
         now,
     ) {
-        Ok(read) => match read.value.as_deref().and_then(parse_op) {
-            Some(found) if found >= op => {}
-            found => report.violations.push(format!(
-                "STALE FENCED READ: {key} fenced at lsn {lsn} (op {op}) returned {found:?}"
-            )),
-        },
+        Ok(read) => {
+            if !read.is_leader {
+                report.follower_reads += 1;
+            }
+            match read.result.value.as_deref().and_then(parse_op) {
+                Some(found) if found >= op => {}
+                found => report.violations.push(format!(
+                    "STALE FENCED READ: {key} fenced at lsn {lsn} (op {op}) returned {found:?} \
+                     from replica {}",
+                    read.node
+                )),
+            }
+        }
         Err(e) => report.violations.push(format!(
             "fenced read of {key} at acked lsn {lsn} failed: {e}"
         )),

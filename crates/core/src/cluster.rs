@@ -8,12 +8,14 @@
 use crate::meta::{MetaServer, ReplicaSet};
 use crate::node::{DataNodeConfig, DataNodeSim};
 use crate::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
+use crate::router::{ReadRouter, ReadRouterConfig, RouterStats};
 use crate::types::{Disposition, NodeId, PartitionId, ServedFrom, SimRequest, TenantId};
 use abase_lavastore::DbConfig;
-use abase_quota::TenantQuotaMonitor;
+use abase_quota::ru::ReadOutcome;
+use abase_quota::{RuEstimator, TenantQuotaMonitor};
 use abase_replication::{
-    reconstruct_parallel, GroupConfig, Lsn, ReadConsistency, ReconstructionReport,
-    ReconstructionTask, ReplicaGroup, Role, WriteConcern,
+    reconstruct_parallel, Error as ReplError, GroupConfig, Lsn, ReadConsistency,
+    ReconstructionReport, ReconstructionTask, ReplicaGroup, Role, WriteConcern,
 };
 use abase_util::clock::{mins, SimTime};
 use abase_util::LatencyHistogram;
@@ -353,6 +355,8 @@ pub struct ReplicatedClusterConfig {
     pub recovery_bandwidth: Option<f64>,
     /// Commit retry budget per group (see `GroupConfig::wait_timeout`).
     pub wait_timeout: std::time::Duration,
+    /// Read-router tuning (staleness budget for `Eventual` follower reads).
+    pub router: ReadRouterConfig,
 }
 
 impl Default for ReplicatedClusterConfig {
@@ -363,6 +367,7 @@ impl Default for ReplicatedClusterConfig {
             db: DbConfig::default(),
             recovery_bandwidth: None,
             wait_timeout: std::time::Duration::from_millis(100),
+            router: ReadRouterConfig::default(),
         }
     }
 }
@@ -387,6 +392,26 @@ pub struct ReplicatedCluster {
     node_ids: Vec<NodeId>,
     dead_nodes: std::collections::HashSet<NodeId>,
     groups: HashMap<PartitionId, ReplicaGroup>,
+    /// The consistency-aware read router (tentpole): every cluster read goes
+    /// through it, so `Eventual` reads spread over caught-up followers and
+    /// fenced reads pick a replica that holds the session's write.
+    router: ReadRouter,
+    /// RU pricing for the per-replica split ledger.
+    ru: RuEstimator,
+}
+
+/// One routed cluster read, with serving provenance.
+#[derive(Debug, Clone)]
+pub struct ClusterRead {
+    /// The storage read.
+    pub result: abase_lavastore::ReadResult,
+    /// Node whose replica served it.
+    pub node: NodeId,
+    /// Whether the serving replica led its group at read time.
+    pub is_leader: bool,
+    /// LSN records the serving replica trailed the leader by at read time —
+    /// the observed staleness of this read.
+    pub lag: Lsn,
 }
 
 impl ReplicatedCluster {
@@ -409,6 +434,8 @@ impl ReplicatedCluster {
             node_ids,
             dead_nodes: std::collections::HashSet::new(),
             groups: HashMap::new(),
+            router: ReadRouter::new(config.router),
+            ru: RuEstimator::default(),
         }
     }
 
@@ -490,10 +517,13 @@ impl ReplicatedCluster {
                 .host_replica(partition, role);
         }
         self.groups.insert(partition, group);
+        self.sync_replica_state(partition);
         Ok(())
     }
 
     /// Write through the partition's leader under the group write concern.
+    /// Every live member's replica is charged the write RU (§4.1's write
+    /// amplification shows up per replica, not once at the leader).
     pub fn write(
         &mut self,
         partition: PartitionId,
@@ -501,13 +531,29 @@ impl ReplicatedCluster {
         value: &[u8],
         now: SimTime,
     ) -> abase_replication::Result<Lsn> {
-        self.groups
+        let group = self
+            .groups
             .get_mut(&partition)
-            .ok_or(abase_replication::Error::NoLeader)?
-            .put(key, value, None, now)
+            .ok_or(abase_replication::Error::NoLeader)?;
+        let lsn = group.put(key, value, None, now)?;
+        let write_ru = self.ru.write_ru(key.len() + value.len(), 1);
+        // Dead members never applied the write; their ledgers stay flat.
+        let live: Vec<NodeId> = group
+            .members()
+            .into_iter()
+            .filter(|&m| group.is_alive(m))
+            .collect();
+        for member in live {
+            if let Some(node) = self.nodes.get_mut(&member) {
+                node.record_replica_write(partition, write_ru);
+            }
+        }
+        self.sync_replica_state(partition);
+        Ok(lsn)
     }
 
-    /// Read from the partition at the requested consistency level.
+    /// Read from the partition at the requested consistency level, through
+    /// the read router (see [`ReplicatedCluster::read_routed`]).
     pub fn read(
         &mut self,
         partition: PartitionId,
@@ -515,17 +561,96 @@ impl ReplicatedCluster {
         consistency: ReadConsistency,
         now: SimTime,
     ) -> abase_replication::Result<abase_lavastore::ReadResult> {
-        self.groups
-            .get_mut(&partition)
-            .ok_or(abase_replication::Error::NoLeader)?
-            .read(key, consistency, now)
+        self.read_routed(partition, key, consistency, now)
+            .map(|r| r.result)
+    }
+
+    /// Read from the partition through the consistency-aware router: the
+    /// router picks a node from the MetaServer's replica health/LSN view,
+    /// the group re-validates the choice (fence + liveness) and serves, and
+    /// the read RU is charged to the serving node's replica ledger. A stale
+    /// routing decision (replica died or fell behind since its last health
+    /// report) re-routes to the leader instead of surfacing an error or a
+    /// stale value.
+    pub fn read_routed(
+        &mut self,
+        partition: PartitionId,
+        key: &[u8],
+        consistency: ReadConsistency,
+        now: SimTime,
+    ) -> abase_replication::Result<ClusterRead> {
+        self.sync_replica_state(partition);
+        let decision = self
+            .router
+            .route(&self.meta, partition, consistency)
+            .ok_or(ReplError::NoLeader)?;
+        let fence = match consistency {
+            ReadConsistency::ReadYourWrites(lsn) => Some(lsn),
+            ReadConsistency::Eventual | ReadConsistency::Leader => None,
+        };
+        let group = self.groups.get(&partition).ok_or(ReplError::NoLeader)?;
+        let (routed, is_leader) = match group.read_at(decision.node, key, fence, now) {
+            Ok(r) => (r, decision.is_leader),
+            Err(ReplError::StaleReplica { .. }) | Err(ReplError::ReplicaUnavailable(_))
+                if !decision.is_leader =>
+            {
+                // The router's health view trailed reality; the leader holds
+                // every acked write, so it can always take the read.
+                self.router.note_fallback();
+                let leader = group.leader().ok_or(ReplError::NoLeader)?;
+                (group.read_at(leader, key, fence, now)?, true)
+            }
+            Err(e) => return Err(e),
+        };
+        let bytes = routed.result.value.as_ref().map(|v| v.len()).unwrap_or(0);
+        let outcome = if routed.result.from_memtable {
+            ReadOutcome::NodeCacheHit
+        } else {
+            ReadOutcome::Miss
+        };
+        let read_ru = self.ru.charge_read(bytes, outcome);
+        if let Some(node) = self.nodes.get_mut(&routed.replica) {
+            node.record_replica_read(partition, read_ru);
+        }
+        Ok(ClusterRead {
+            node: routed.replica,
+            is_leader,
+            lag: routed.lag,
+            result: routed.result,
+        })
+    }
+
+    /// The read router's counters (leader vs follower vs fallback).
+    pub fn router_stats(&self) -> RouterStats {
+        self.router.stats()
+    }
+
+    /// Push a group's authoritative replica state into the MetaServer's
+    /// health view — the simulator's stand-in for the production heartbeat.
+    fn sync_replica_state(&mut self, partition: PartitionId) {
+        let Some(group) = self.groups.get(&partition) else {
+            return;
+        };
+        // A replica awaiting a full resync reports dead for routing: its
+        // history may be divergent, so no read may land on it.
+        let readable = group.readable_replicas(None);
+        for replica in group.status().replicas {
+            let serving = replica.alive && readable.contains(&replica.id);
+            self.meta
+                .report_replica_health(partition, replica.id, serving, replica.acked_lsn);
+        }
     }
 
     /// Ship pending log on every group (the per-tick replication pump that
-    /// drains `Async` writes to followers).
+    /// drains `Async` writes to followers), then refresh the meta server's
+    /// replica health view.
     pub fn tick(&mut self) -> abase_replication::Result<()> {
         for group in self.groups.values_mut() {
             group.tick()?;
+        }
+        let partitions: Vec<PartitionId> = self.groups.keys().copied().collect();
+        for partition in partitions {
+            self.sync_replica_state(partition);
         }
         Ok(())
     }
@@ -605,6 +730,12 @@ impl ReplicatedCluster {
             if let Some(node) = self.nodes.get_mut(&assignment.dest) {
                 node.host_replica(assignment.partition, Role::Follower);
             }
+        }
+        // 6. Every partition's routing view reflects the new world before
+        //    the next read is routed.
+        let partitions: Vec<PartitionId> = self.groups.keys().copied().collect();
+        for partition in partitions {
+            self.sync_replica_state(partition);
         }
         Ok(FailoverOutcome {
             plan,
@@ -793,6 +924,62 @@ mod tests {
         // Meta routing agrees with group leadership.
         for p in 0..4u64 {
             assert_eq!(cluster.meta().route(p), cluster.group(p).unwrap().leader());
+        }
+    }
+
+    #[test]
+    fn eventual_reads_are_served_by_followers_with_split_accounting() {
+        let (_d, mut cluster) = small_cluster("routed-reads");
+        cluster.create_partition(1, 0).unwrap();
+        for i in 0..10 {
+            cluster
+                .write(0, format!("k{i}").as_bytes(), b"v", 0)
+                .unwrap();
+        }
+        cluster.tick().unwrap(); // all followers converge
+        let mut served = std::collections::HashSet::new();
+        for i in 0..12 {
+            let key = format!("k{}", i % 10);
+            let r = cluster
+                .read_routed(0, key.as_bytes(), ReadConsistency::Eventual, 0)
+                .unwrap();
+            assert!(r.result.value.is_some());
+            assert_eq!(r.lag, 0, "converged follower reported lag");
+            assert!(!r.is_leader, "eventual read went to the leader");
+            served.insert(r.node);
+        }
+        // Both followers took reads, and their replica ledgers show it.
+        assert_eq!(served.len(), 2, "reads did not spread: {served:?}");
+        let leader = cluster.meta().route(0).unwrap();
+        for node in served {
+            assert_ne!(node, leader);
+            let split = cluster.node(node).unwrap().replica_ru_split(0);
+            assert!(split.read_ru > 0.0, "follower read RU not charged");
+            assert!(split.write_ru > 0.0, "replica write RU not charged");
+        }
+        // The leader carried the writes but none of these reads.
+        let leader_split = cluster.node(leader).unwrap().replica_ru_split(0);
+        assert!(leader_split.write_ru > 0.0);
+        assert_eq!(leader_split.read_ru, 0.0);
+        assert_eq!(cluster.router_stats().follower_reads, 12);
+    }
+
+    #[test]
+    fn ryw_reads_fence_on_the_session_lsn() {
+        let (_d, mut cluster) = small_cluster("routed-ryw");
+        cluster.create_partition(1, 0).unwrap();
+        // Quorum write: one follower has it, one may lag.
+        let lsn = cluster.write(0, b"k", b"v1", 0).unwrap();
+        for _ in 0..6 {
+            let r = cluster
+                .read_routed(0, b"k", ReadConsistency::ReadYourWrites(lsn), 0)
+                .unwrap();
+            assert_eq!(
+                r.result.value.as_deref(),
+                Some(&b"v1"[..]),
+                "fenced read missed the session's write (served by node {})",
+                r.node
+            );
         }
     }
 

@@ -64,6 +64,13 @@ impl TableEngine {
         Arc::clone(&self.db)
     }
 
+    /// The storage-level key a tenant's string key namespaces to — exposed so
+    /// the server's routed read path can issue the same read against a
+    /// follower replica's store.
+    pub fn storage_string_key(tenant: TenantId, key: &[u8]) -> Vec<u8> {
+        Self::string_key(tenant, key)
+    }
+
     fn string_key(tenant: TenantId, key: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(key.len() + 12);
         out.extend_from_slice(format!("t{tenant}:").as_bytes());
@@ -109,6 +116,14 @@ impl TableEngine {
                 from_memtable: true,
             }),
             Command::ReplConf { .. } => Ok(ExecOutcome {
+                reply: RespValue::ok(),
+                io_ops: 0,
+                bytes_returned: 2,
+                from_memtable: true,
+            }),
+            // Consistency is per-connection state owned by the server's read
+            // routing; a bare engine acknowledges and stays leader-local.
+            Command::Consistency { .. } => Ok(ExecOutcome {
                 reply: RespValue::ok(),
                 io_ops: 0,
                 bytes_returned: 2,

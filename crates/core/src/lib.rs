@@ -22,6 +22,10 @@
 //!   Also hosts [`cluster::ReplicatedCluster`]: real WAL-shipping replica
 //!   groups (via `abase-replication`) placed across DataNodes, with
 //!   MetaServer-driven failover and parallel reconstruction.
+//! * [`router`] — the consistency-aware `ReadRouter`: `Eventual` reads spread
+//!   over caught-up followers, `ReadYourWrites` reads pick a fenced replica,
+//!   `Leader` reads pin to the leader — decided from the meta server's
+//!   per-replica health/LSN view.
 //! * [`oncall`] — the Figure 8b oncall model (reactive vs. predictive scaling).
 //! * [`placement`] — the §6.4 single-tenant vs multi-tenant utilization
 //!   comparison and the §3.3 robustness arithmetic.
@@ -38,16 +42,18 @@ pub mod node;
 pub mod oncall;
 pub mod placement;
 pub mod proxy;
+pub mod router;
 pub mod server;
 pub mod types;
 
 pub use cluster::{
-    FailoverOutcome, IsolationExperiment, MinutePoint, ReplicatedCluster, ReplicatedClusterConfig,
-    TenantSpec,
+    ClusterRead, FailoverOutcome, IsolationExperiment, MinutePoint, ReplicatedCluster,
+    ReplicatedClusterConfig, TenantSpec,
 };
 pub use engine::TableEngine;
-pub use meta::{FailoverPlan, MetaServer, RecoveryModel, ReplicaSet};
-pub use node::{DataNodeConfig, DataNodeSim};
-pub use proxy::{ProxyPlane, ProxyPlaneConfig};
+pub use meta::{FailoverPlan, MetaServer, RecoveryModel, ReplicaHealth, ReplicaSet};
+pub use node::{DataNodeConfig, DataNodeSim, ReplicaRuSplit};
+pub use proxy::{ProxyPlane, ProxyPlaneConfig, ProxyReadSplit};
+pub use router::{ReadRouter, ReadRouterConfig, RouteDecision, RouterStats};
 pub use server::{ReplicationControl, RespServer};
-pub use types::{NodeId, PartitionId, ProxyId, TenantId};
+pub use types::{ConsistencyLevel, NodeId, PartitionId, ProxyId, TenantId};

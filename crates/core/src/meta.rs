@@ -38,6 +38,20 @@ impl ReplicaSet {
     }
 }
 
+/// Runtime state of one replica as last reported to the meta server — the
+/// per-replica health/LSN view the [`crate::router::ReadRouter`] routes
+/// follower reads by. Reports arrive from the replica groups (heartbeats in
+/// production; the cluster simulator pushes them after every write/tick), so
+/// the view may trail the group's authoritative state by one report — which
+/// is why the group re-validates fences on `read_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Reachability at last report.
+    pub alive: bool,
+    /// Applied LSN at last report.
+    pub acked_lsn: u64,
+}
+
 /// One leader promotion in a failover plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Promotion {
@@ -88,6 +102,8 @@ pub struct MetaServer {
     replica_sets: HashMap<PartitionId, ReplicaSet>,
     /// tenant → its partitions.
     tenant_partitions: HashMap<TenantId, Vec<PartitionId>>,
+    /// (partition, node) → last reported replica health/LSN.
+    replica_health: HashMap<(PartitionId, NodeId), ReplicaHealth>,
     /// Traffic monitor backing the proxy boost decision.
     pub monitor: TenantQuotaMonitor,
 }
@@ -99,6 +115,7 @@ impl MetaServer {
             routing: HashMap::new(),
             replica_sets: HashMap::new(),
             tenant_partitions: HashMap::new(),
+            replica_health: HashMap::new(),
             monitor: TenantQuotaMonitor::new(monitor_window),
         }
     }
@@ -159,6 +176,52 @@ impl MetaServer {
         self.routing.insert(partition, to);
     }
 
+    /// Record a replica's reported health/LSN (the group heartbeat path).
+    pub fn report_replica_health(
+        &mut self,
+        partition: PartitionId,
+        node: NodeId,
+        alive: bool,
+        acked_lsn: u64,
+    ) {
+        self.replica_health
+            .insert((partition, node), ReplicaHealth { alive, acked_lsn });
+    }
+
+    /// The last reported health of `node`'s replica of `partition`.
+    pub fn replica_health(&self, partition: PartitionId, node: NodeId) -> Option<ReplicaHealth> {
+        self.replica_health.get(&(partition, node)).copied()
+    }
+
+    /// Records `node`'s replica trails the leader by, per the latest reports
+    /// (`None` when either side is unreported).
+    pub fn replica_lag(&self, partition: PartitionId, node: NodeId) -> Option<u64> {
+        let leader = self.routing.get(&partition)?;
+        let leader_lsn = self.replica_health(partition, *leader)?.acked_lsn;
+        let node_lsn = self.replica_health(partition, node)?.acked_lsn;
+        Some(leader_lsn.saturating_sub(node_lsn))
+    }
+
+    /// Nodes able to serve a read of `partition` under a fence of `min_lsn`:
+    /// the leader (always a candidate while routed), then every follower
+    /// reported alive with an applied LSN at or above the fence. Order:
+    /// leader first, followers in replica-set order.
+    pub fn read_candidates(&self, partition: PartitionId, min_lsn: Option<u64>) -> Vec<NodeId> {
+        let Some(set) = self.replica_sets.get(&partition) else {
+            return self.route(partition).into_iter().collect();
+        };
+        let mut out = vec![set.leader];
+        for &f in &set.followers {
+            let Some(health) = self.replica_health(partition, f) else {
+                continue; // never reported: not a read candidate yet
+            };
+            if health.alive && min_lsn.is_none_or(|lsn| health.acked_lsn >= lsn) {
+                out.push(f);
+            }
+        }
+        out
+    }
+
     /// Plan recovery from the failure of `failed` and update the routing
     /// tables to match the plan (§3.3).
     ///
@@ -180,6 +243,8 @@ impl MetaServer {
         acked_lsn: impl Fn(PartitionId, NodeId) -> Option<u64>,
         available_nodes: &[NodeId],
     ) -> FailoverPlan {
+        // The dead node's replicas must drop out of read routing immediately.
+        self.replica_health.retain(|&(_, node), _| node != failed);
         let mut affected: Vec<PartitionId> = self
             .replica_sets
             .iter()

@@ -86,6 +86,30 @@ pub struct TenantTickStats {
     pub latency_max: f64,
     /// RU actually charged.
     pub ru_charged: f64,
+    /// The read share of `ru_charged`.
+    pub read_ru_charged: f64,
+    /// The write share of `ru_charged`.
+    pub write_ru_charged: f64,
+}
+
+/// Split read/write RU accumulated against one hosted replica — the
+/// per-replica load the read router spreads, Algorithm 2's loss function
+/// weighs, and the autoscaler's `LoadVector` aggregates. Kept separately
+/// from the tenant tick stats because it survives snapshots: routing and
+/// rebalancing reason about replicas, not tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplicaRuSplit {
+    /// RU charged for reads served by this replica (leader or follower).
+    pub read_ru: f64,
+    /// RU charged for writes applied by this replica.
+    pub write_ru: f64,
+}
+
+impl ReplicaRuSplit {
+    /// Combined RU.
+    pub fn total(&self) -> f64 {
+        self.read_ru + self.write_ru
+    }
 }
 
 /// The simulated DataNode.
@@ -100,6 +124,9 @@ pub struct DataNodeSim {
     /// Replicas this node hosts (partition → role), maintained by the
     /// replicated-cluster placement so the §3.3 failure math has real counts.
     hosted_replicas: HashMap<PartitionId, Role>,
+    /// Split read/write RU charged per hosted replica: the simulated request
+    /// pipeline and the routed-read path both feed it.
+    replica_ru: HashMap<PartitionId, ReplicaRuSplit>,
     /// RU owed to rejection processing, debited from the next tick's budget.
     rejection_overhead_ru: f64,
     stats: HashMap<TenantId, TenantTickStats>,
@@ -117,6 +144,7 @@ impl DataNodeSim {
             cache,
             partitions: HashMap::new(),
             hosted_replicas: HashMap::new(),
+            replica_ru: HashMap::new(),
             rejection_overhead_ru: 0.0,
             stats: HashMap::new(),
         }
@@ -128,9 +156,37 @@ impl DataNodeSim {
         self.hosted_replicas.insert(partition, role);
     }
 
-    /// Remove the hosted-replica record for `partition`.
+    /// Remove the hosted-replica record for `partition` (its accumulated RU
+    /// ledger leaves with it — the load moves to wherever the replica went).
     pub fn drop_replica(&mut self, partition: PartitionId) {
         self.hosted_replicas.remove(&partition);
+        self.replica_ru.remove(&partition);
+    }
+
+    /// Charge read RU against this node's replica of `partition` — the
+    /// routed-read path (proxy → router → follower) lands here, so follower
+    /// reads are visible to the same accounting the rebalancer reads.
+    pub fn record_replica_read(&mut self, partition: PartitionId, ru: f64) {
+        self.replica_ru.entry(partition).or_default().read_ru += ru;
+    }
+
+    /// Charge write RU against this node's replica of `partition` (each
+    /// replica of a group pays the write once — §4.1's write amplification).
+    pub fn record_replica_write(&mut self, partition: PartitionId, ru: f64) {
+        self.replica_ru.entry(partition).or_default().write_ru += ru;
+    }
+
+    /// The split read/write RU charged against this node's replica of
+    /// `partition` so far (zero when nothing was charged).
+    pub fn replica_ru_split(&self, partition: PartitionId) -> ReplicaRuSplit {
+        self.replica_ru.get(&partition).copied().unwrap_or_default()
+    }
+
+    /// Every hosted replica's split RU, ascending by partition.
+    pub fn replica_ru_splits(&self) -> Vec<(PartitionId, ReplicaRuSplit)> {
+        let mut out: Vec<_> = self.replica_ru.iter().map(|(&p, &s)| (p, s)).collect();
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
     }
 
     /// This node's role for `partition`, if it hosts a replica.
@@ -345,9 +401,17 @@ impl DataNodeSim {
             if served_from == ServedFrom::Storage {
                 latency += self.config.io_service_micros;
             }
+            let split = self.replica_ru.entry(req.partition).or_default();
             let stats = self.stats.entry(req.tenant).or_default();
             stats.success += 1;
             stats.ru_charged += ru;
+            if req.is_write {
+                stats.write_ru_charged += ru;
+                split.write_ru += ru;
+            } else {
+                stats.read_ru_charged += ru;
+                split.read_ru += ru;
+            }
             stats.latency_sum += latency as f64;
             stats.latency_max = stats.latency_max.max(latency as f64);
             if !req.is_write {
@@ -560,6 +624,28 @@ mod tests {
         assert!(total > 0);
         let share = success[0] as f64 / total as f64;
         assert!((share - 0.5).abs() < 0.15, "share={share}");
+    }
+
+    #[test]
+    fn replica_ru_splits_reads_from_writes() {
+        let mut n = node();
+        n.submit(request(1, 10, 1, true, 0), 0);
+        n.submit(request(1, 10, 2, false, 0), 0);
+        n.tick(0, ms(100));
+        let split = n.replica_ru_split(10);
+        assert!(split.write_ru > 0.0, "write RU not charged: {split:?}");
+        assert!(split.read_ru > 0.0, "read RU not charged: {split:?}");
+        let s = n.take_stats();
+        assert!(
+            (s[&1].read_ru_charged + s[&1].write_ru_charged - s[&1].ru_charged).abs() < 1e-9,
+            "split does not sum to total"
+        );
+        // Routed follower reads land in the same ledger the rebalancer reads.
+        n.record_replica_read(10, 2.5);
+        assert!(n.replica_ru_split(10).read_ru >= split.read_ru + 2.5);
+        assert_eq!(n.replica_ru_splits().len(), 1);
+        n.drop_replica(10);
+        assert_eq!(n.replica_ru_split(10), ReplicaRuSplit::default());
     }
 
     #[test]

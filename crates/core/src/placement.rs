@@ -147,13 +147,16 @@ pub fn multi_tenant_utilization(
     for (i, tenant) in population.tenants.iter().enumerate() {
         let (c, _, d) = demands(tenant);
         let node = i % machines;
-        pool.nodes[node].add_replica(ReplicaLoad {
-            id: i as u64,
-            tenant: tenant.id,
-            partition: i as u64,
-            ru: LoadVector::flat(c),
-            storage: d,
-        });
+        // Memory demand already encodes the cache-hit shape; attribute the
+        // RU total by the read share reads-vs-writes typically carry.
+        pool.nodes[node].add_replica(ReplicaLoad::from_total(
+            i as u64,
+            tenant.id,
+            i as u64,
+            LoadVector::flat(c),
+            0.7,
+            d,
+        ));
     }
     Rescheduler::default().rebalance_to_convergence(&mut pool, 200);
     let mem_total = mem + machines as f64 * machine.memory_overhead;

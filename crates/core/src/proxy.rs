@@ -13,7 +13,7 @@
 //! **AU-LRU** cache whose hits are "directly returned without throttling or
 //! charges".
 
-use crate::types::TenantId;
+use crate::types::{ConsistencyLevel, TenantId};
 use abase_cache::aulru::AuLruConfig;
 use abase_cache::{AuLruCache, CacheStats};
 use abase_quota::{ProxyQuota, QuotaDecision, RuEstimator};
@@ -76,6 +76,25 @@ pub enum ProxyDecision {
 struct ProxySim {
     quota: ProxyQuota,
     cache: AuLruCache<u64, usize>,
+    /// Reads this proxy answered from its own cache.
+    reads_local: u64,
+    /// Reads this proxy forwarded to the data plane (for the router to place
+    /// on a replica). Kept separate from `reads_local` so hit attribution
+    /// stays correct now that forwarded reads may be served by followers.
+    reads_forwarded: u64,
+    /// Reads the proxy quota rejected — still pressure on this proxy, so
+    /// they count toward the hot-key distribution but toward neither
+    /// serving-side counter.
+    reads_rejected: u64,
+}
+
+/// One proxy's read-serving split: answered locally vs forwarded downstream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyReadSplit {
+    /// Reads served from the proxy's own cache.
+    pub local: u64,
+    /// Reads forwarded to the data plane.
+    pub forwarded: u64,
 }
 
 /// One tenant's proxy fleet.
@@ -101,6 +120,9 @@ impl ProxyPlane {
             .map(|_| ProxySim {
                 quota: ProxyQuota::new(per_proxy, now),
                 cache: AuLruCache::new(config.cache),
+                reads_local: 0,
+                reads_forwarded: 0,
+                reads_rejected: 0,
             })
             .collect();
         let group_size = config.n_proxies / config.n_groups;
@@ -170,11 +192,39 @@ impl ProxyPlane {
     }
 
     /// Process a request at `now`. Reads may be served by the proxy cache;
-    /// everything else is admission-checked against the proxy quota.
+    /// everything else is admission-checked against the proxy quota. Reads
+    /// run at [`ConsistencyLevel::Eventual`] — the historical behavior; use
+    /// [`ProxyPlane::submit_read`] to carry a stronger level.
     pub fn submit(&mut self, key: u64, is_write: bool, now: SimTime) -> ProxyDecision {
+        self.submit_with(key, is_write, ConsistencyLevel::Eventual, now)
+    }
+
+    /// Submit a read at an explicit consistency level.
+    pub fn submit_read(
+        &mut self,
+        key: u64,
+        consistency: ConsistencyLevel,
+        now: SimTime,
+    ) -> ProxyDecision {
+        self.submit_with(key, false, consistency, now)
+    }
+
+    /// Process a request carrying a consistency level. The proxy cache may
+    /// only answer `Eventual` reads: it has no LSN to prove a fence, so
+    /// `ReadYourWrites` and `Leader` reads always forward to the data plane
+    /// (where the read router picks a fenced replica or the leader).
+    pub fn submit_with(
+        &mut self,
+        key: u64,
+        is_write: bool,
+        consistency: ConsistencyLevel,
+        now: SimTime,
+    ) -> ProxyDecision {
         let proxy = self.route(key);
         let p = &mut self.proxies[proxy as usize];
-        if !is_write && self.config.cache_enabled && p.cache.get(&key, now).is_some() {
+        let cacheable = !is_write && consistency == ConsistencyLevel::Eventual;
+        if cacheable && self.config.cache_enabled && p.cache.get(&key, now).is_some() {
+            p.reads_local += 1;
             return ProxyDecision::CacheHit { proxy };
         }
         if is_write && self.config.cache_enabled {
@@ -188,8 +238,14 @@ impl ProxyPlane {
                 self.estimator.estimate_read_ru()
             };
             if p.quota.admit(now, est) == QuotaDecision::Reject {
+                if !is_write {
+                    p.reads_rejected += 1;
+                }
                 return ProxyDecision::Rejected { proxy };
             }
+        }
+        if !is_write {
+            p.reads_forwarded += 1;
         }
         ProxyDecision::Forward { proxy }
     }
@@ -251,13 +307,38 @@ impl ProxyPlane {
         total
     }
 
-    /// Per-proxy lookup counts — the hot-key pressure distribution the
-    /// fan-out parameter trades against hit ratio.
+    /// Per-proxy read counts (served locally + forwarded + quota-rejected) —
+    /// the hot-key pressure distribution the fan-out parameter trades against
+    /// hit ratio. Counted from explicit request counters, not cache-stat
+    /// lookups, so active-refresh probes and disabled caches don't skew
+    /// attribution; rejected reads still count as pressure.
     pub fn per_proxy_lookups(&self) -> Vec<u64> {
         self.proxies
             .iter()
-            .map(|p| p.cache.stats().lookups())
+            .map(|p| p.reads_local + p.reads_forwarded + p.reads_rejected)
             .collect()
+    }
+
+    /// Per-proxy split of reads served locally vs forwarded to the data
+    /// plane — what the read router's hit attribution consumes.
+    pub fn per_proxy_read_split(&self) -> Vec<ProxyReadSplit> {
+        self.proxies
+            .iter()
+            .map(|p| ProxyReadSplit {
+                local: p.reads_local,
+                forwarded: p.reads_forwarded,
+            })
+            .collect()
+    }
+
+    /// Fleet-wide read split (sums of [`ProxyPlane::per_proxy_read_split`]).
+    pub fn read_split(&self) -> ProxyReadSplit {
+        let mut total = ProxyReadSplit::default();
+        for p in &self.proxies {
+            total.local += p.reads_local;
+            total.forwarded += p.reads_forwarded;
+        }
+        total
     }
 }
 
@@ -408,6 +489,65 @@ mod tests {
             p.submit(key, false, secs(70)),
             ProxyDecision::CacheHit { .. }
         ));
+    }
+
+    #[test]
+    fn stronger_consistency_bypasses_the_proxy_cache() {
+        let mut p = plane(4, 4);
+        let key = 11u64;
+        if let ProxyDecision::Forward { proxy } = p.submit(key, false, 0) {
+            p.on_read_complete(proxy, key, 128, false, 0);
+        }
+        // Cached for Eventual...
+        assert!(matches!(
+            p.submit_read(key, ConsistencyLevel::Eventual, secs(1)),
+            ProxyDecision::CacheHit { .. }
+        ));
+        // ...but the cache cannot prove an LSN fence: RYW and Leader reads
+        // must reach the data plane.
+        assert!(matches!(
+            p.submit_read(key, ConsistencyLevel::ReadYourWrites, secs(1)),
+            ProxyDecision::Forward { .. }
+        ));
+        assert!(matches!(
+            p.submit_read(key, ConsistencyLevel::Leader, secs(1)),
+            ProxyDecision::Forward { .. }
+        ));
+    }
+
+    #[test]
+    fn read_split_attributes_local_vs_forwarded() {
+        let mut p = plane(2, 1);
+        p.set_quota_enabled(false);
+        let key = 3u64;
+        if let ProxyDecision::Forward { proxy } = p.submit(key, false, 0) {
+            p.on_read_complete(proxy, key, 64, false, 0);
+        }
+        // Hammer the same key, completing each forward so every proxy caches
+        // after its own first miss: the split then records exactly the reads
+        // that really reached the data plane (one first-miss per proxy).
+        for _ in 0..20 {
+            if let ProxyDecision::Forward { proxy } = p.submit(key, false, secs(1)) {
+                p.on_read_complete(proxy, key, 64, false, secs(1));
+            }
+        }
+        let split = p.read_split();
+        assert_eq!(split.local + split.forwarded, 21);
+        assert!(split.forwarded <= 2, "split={split:?}");
+        assert!(split.local >= 19, "split={split:?}");
+        let per_proxy = p.per_proxy_read_split();
+        let sum: u64 = per_proxy.iter().map(|s| s.local + s.forwarded).sum();
+        assert_eq!(sum, 21);
+        assert_eq!(
+            p.per_proxy_lookups(),
+            per_proxy
+                .iter()
+                .map(|s| s.local + s.forwarded)
+                .collect::<Vec<_>>()
+        );
+        // Writes are not part of the read split.
+        p.submit(key, true, secs(2));
+        assert_eq!(p.read_split().local + p.read_split().forwarded, 21);
     }
 
     #[test]

@@ -14,10 +14,18 @@
 //! fence issue Redis-style `WAIT numreplicas timeout-ms` — the server blocks
 //! until that many followers acked the connection's latest LSN. `REPLCONF`
 //! handshake chatter is accepted for client compatibility.
+//!
+//! Connections also carry a **read-consistency level** (`CONSISTENCY
+//! eventual|readyourwrites|leader`, default `leader`): with a replication
+//! plane attached, `eventual` GETs are served by follower replicas and
+//! `readyourwrites` GETs by any replica that has applied the connection's
+//! last acked write LSN (the session fence the server tracks per write) —
+//! only `leader` reads pin to the leader replica.
 
 use crate::engine::TableEngine;
+use crate::types::ConsistencyLevel;
 use abase_proto::{Command, RespValue};
-use abase_replication::ReplicaGroup;
+use abase_replication::{ReadConsistency, ReplicaGroup};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -38,8 +46,23 @@ pub trait ReplicationControl: Send + Sync {
     fn wait_for(&self, lsn: u64, numreplicas: usize, timeout: Duration) -> Result<usize, String>;
     /// Enforce the group's write concern for everything the leader has
     /// written so far (called after each RESP write, before the client sees
-    /// its reply). Returns an error string when the concern cannot be met.
-    fn commit_written(&self) -> Result<(), String>;
+    /// its reply). Returns the LSN the commit fenced on — a single
+    /// lock-coherent bound covering the caller's write, which the connection
+    /// adopts as its `readyourwrites` session fence (it may include
+    /// concurrent writers' later LSNs: a higher fence is always safe, just
+    /// conservative for follower routing). Errors when the concern cannot
+    /// be met.
+    fn commit_written(&self) -> Result<u64, String>;
+    /// Serve a consistency-routed read of a storage-level key: `Eventual`
+    /// round-robins over caught-up replicas, `ReadYourWrites(lsn)` over
+    /// replicas at/above the fence, `Leader` pins to the leader. Returns the
+    /// value (if any) and the serving replica's LSN lag at read time.
+    fn read_routed(
+        &self,
+        key: &[u8],
+        consistency: ReadConsistency,
+        now: u64,
+    ) -> Result<(Option<Vec<u8>>, u64), String>;
 }
 
 impl ReplicationControl for Mutex<ReplicaGroup> {
@@ -52,22 +75,35 @@ impl ReplicationControl for Mutex<ReplicaGroup> {
         drive_followers(self, lsn, numreplicas, deadline)
     }
 
-    fn commit_written(&self) -> Result<(), String> {
+    fn read_routed(
+        &self,
+        key: &[u8],
+        consistency: ReadConsistency,
+        now: u64,
+    ) -> Result<(Option<Vec<u8>>, u64), String> {
+        let routed = self
+            .lock()
+            .read_routed(key, consistency, now)
+            .map_err(|e| e.to_string())?;
+        Ok((routed.result.value.map(|v| v.to_vec()), routed.lag))
+    }
+
+    fn commit_written(&self) -> Result<u64, String> {
         // One lock acquisition covers both reading the fence LSN and the
         // concern arithmetic, so a concurrent writer cannot slide the fence.
         let (lsn, need, timeout) = {
             let group = self.lock();
-            if group.write_concern() == abase_replication::WriteConcern::Async {
-                return Ok(());
-            }
             let lsn = group.leader_db().map_err(|e| e.to_string())?.last_seq();
+            if group.write_concern() == abase_replication::WriteConcern::Async {
+                return Ok(lsn);
+            }
             (lsn, group.commit_need(), group.config().wait_timeout)
         };
         // The leader itself always counts toward the concern.
         let follower_need = need.saturating_sub(1);
         let acked = drive_followers(self, lsn, follower_need, Instant::now() + timeout)?;
         if acked >= follower_need {
-            Ok(())
+            Ok(lsn)
         } else {
             Err(format!(
                 "write concern unsatisfied: {}/{} acks",
@@ -182,6 +218,18 @@ impl RespServer {
 
 /// Serve one client connection: incremental RESP parsing, one reply per
 /// command, `AUTH <tenant>` selects the namespace.
+/// Per-connection session state: tenant namespace, read-consistency level
+/// (defaults to [`ConsistencyLevel::Leader`]), and the LSN fence of the
+/// session's last acked write.
+#[derive(Debug, Clone, Copy, Default)]
+struct ConnState {
+    tenant: u32,
+    consistency: ConsistencyLevel,
+    /// Highest LSN this connection's writes reached — what a
+    /// `readyourwrites` read fences on.
+    session_lsn: u64,
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     engine: Arc<TableEngine>,
@@ -190,7 +238,7 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     let mut buffer: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
-    let mut tenant: u32 = 0;
+    let mut state = ConnState::default();
     loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
@@ -210,7 +258,7 @@ fn serve_connection(
             };
             let Some((value, used)) = parsed else { break };
             buffer.drain(..used);
-            let reply = dispatch(&value, &engine, &clock, &mut tenant, replication.as_deref());
+            let reply = dispatch(&value, &engine, &clock, &mut state, replication.as_deref());
             stream.write_all(&reply.to_bytes())?;
         }
     }
@@ -220,7 +268,7 @@ fn dispatch(
     value: &RespValue,
     engine: &TableEngine,
     clock: &AtomicU64,
-    tenant: &mut u32,
+    state: &mut ConnState,
     replication: Option<&dyn ReplicationControl>,
 ) -> RespValue {
     // AUTH is handled at the connection layer (it selects the tenant).
@@ -232,7 +280,7 @@ fn dispatch(
                 if name.eq_ignore_ascii_case(b"AUTH") {
                     return match std::str::from_utf8(arg).ok().and_then(|s| s.parse().ok()) {
                         Some(id) => {
-                            *tenant = id;
+                            state.tenant = id;
                             RespValue::ok()
                         }
                         None => RespValue::Error("ERR AUTH expects a numeric tenant id".into()),
@@ -245,6 +293,24 @@ fn dispatch(
         Ok(c) => c,
         Err(e) => return RespValue::Error(format!("ERR {e}")),
     };
+    // CONSISTENCY is connection state, like AUTH.
+    if let Command::Consistency { level } = &command {
+        return match level {
+            None => RespValue::bulk(state.consistency.name()),
+            Some(raw) => match std::str::from_utf8(raw)
+                .ok()
+                .and_then(ConsistencyLevel::parse)
+            {
+                Some(level) => {
+                    state.consistency = level;
+                    RespValue::ok()
+                }
+                None => RespValue::Error(
+                    "ERR CONSISTENCY expects eventual, readyourwrites, or leader".into(),
+                ),
+            },
+        };
+    }
     // WAIT is answered by the replication plane when one is attached; the
     // engine's fallback (0 replicas acked) covers unreplicated nodes.
     if let (
@@ -270,14 +336,39 @@ fn dispatch(
         };
     }
     let now = clock.load(Ordering::Relaxed);
-    match engine.execute(*tenant, &command, now) {
+    // With a replication plane attached, non-leader GETs route to a replica
+    // chosen per the connection's consistency level instead of always
+    // reading the leader's engine.
+    if let (Command::Get { key }, Some(repl)) = (&command, replication) {
+        if state.consistency != ConsistencyLevel::Leader {
+            let consistency = match state.consistency {
+                ConsistencyLevel::Eventual => ReadConsistency::Eventual,
+                ConsistencyLevel::ReadYourWrites => {
+                    ReadConsistency::ReadYourWrites(state.session_lsn)
+                }
+                ConsistencyLevel::Leader => unreachable!("guarded above"),
+            };
+            let storage_key = TableEngine::storage_string_key(state.tenant, key);
+            return match repl.read_routed(&storage_key, consistency, now) {
+                Ok((value, _lag)) => RespValue::Bulk(value.map(bytes::Bytes::from)),
+                Err(e) => RespValue::Error(format!("ERR replication: {e}")),
+            };
+        }
+    }
+    match engine.execute(state.tenant, &command, now) {
         Ok(outcome) => {
             // Writes are acknowledged only once the replica group's write
             // concern holds; an unsatisfiable concern is the client's error.
             if command.is_write() {
                 if let Some(repl) = replication {
-                    if let Err(e) = repl.commit_written() {
-                        return RespValue::Error(format!("ERR replication: {e}"));
+                    // The committed LSN becomes the session's read fence
+                    // (lock-coherent with the concern check, so it covers
+                    // this write without racing a later last_lsn read).
+                    match repl.commit_written() {
+                        Ok(lsn) => state.session_lsn = state.session_lsn.max(lsn),
+                        Err(e) => {
+                            return RespValue::Error(format!("ERR replication: {e}"));
+                        }
                     }
                 }
             }
@@ -557,6 +648,65 @@ mod tests {
             lock_wait < Duration::from_millis(200),
             "group mutex was held across the resync copy ({lock_wait:?})"
         );
+    }
+
+    #[test]
+    fn consistency_levels_route_connection_reads() {
+        use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
+        let dir = TestDir::new("consistency-route");
+        let group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1, 2, 3],
+            GroupConfig {
+                // Async: followers lag until WAIT pumps them — which is what
+                // makes the fence observable.
+                write_concern: WriteConcern::Async,
+                db: DbConfig::small_for_tests(),
+                wait_timeout: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
+        let group = Arc::new(Mutex::new(group));
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Default level is leader.
+        let reply = roundtrip(&mut client, b"*1\r\n$11\r\nCONSISTENCY\r\n");
+        assert_eq!(reply, RespValue::bulk("leader"));
+        // Write, then fence the session's reads on it.
+        roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        let reply = roundtrip(
+            &mut client,
+            b"*2\r\n$11\r\nCONSISTENCY\r\n$14\r\nreadyourwrites\r\n",
+        );
+        assert_eq!(reply, RespValue::ok());
+        // Followers have not applied the write; the fenced read must still
+        // observe it (served by the leader or a caught-up replica).
+        for _ in 0..4 {
+            let reply = roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+            assert_eq!(reply, RespValue::bulk("v"), "fenced read lost the write");
+        }
+        // Converge, then eventual reads see it from any replica.
+        roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$3\r\n100\r\n");
+        let reply = roundtrip(
+            &mut client,
+            b"*2\r\n$11\r\nCONSISTENCY\r\n$8\r\neventual\r\n",
+        );
+        assert_eq!(reply, RespValue::ok());
+        for _ in 0..4 {
+            let reply = roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+            assert_eq!(reply, RespValue::bulk("v"));
+        }
+        // Bogus levels are refused; the connection keeps its current level.
+        let reply = roundtrip(&mut client, b"*2\r\n$11\r\nCONSISTENCY\r\n$6\r\nstrong\r\n");
+        assert!(matches!(reply, RespValue::Error(_)));
+        let reply = roundtrip(&mut client, b"*1\r\n$11\r\nCONSISTENCY\r\n");
+        assert_eq!(reply, RespValue::bulk("eventual"));
     }
 
     #[test]

@@ -88,6 +88,14 @@ pub enum Command {
         /// Key/value option pairs as sent.
         pairs: Vec<(Bytes, Bytes)>,
     },
+    /// `CONSISTENCY [level]` — set the connection's read-consistency level
+    /// (`eventual`, `readyourwrites`/`ryw`, `leader`); without an argument,
+    /// report the current level. Routed reads at `eventual`/`ryw` may be
+    /// served by follower replicas.
+    Consistency {
+        /// Requested level name, when setting.
+        level: Option<Bytes>,
+    },
     /// `PING`
     Ping,
 }
@@ -277,6 +285,14 @@ impl Command {
                 }
                 Ok(Command::ReplConf { pairs })
             }
+            "CONSISTENCY" => {
+                if args.len() > 1 {
+                    return Err(err("CONSISTENCY expects at most one level argument"));
+                }
+                Ok(Command::Consistency {
+                    level: args.first().map(as_bulk).transpose()?,
+                })
+            }
             other => Err(err(format!("unknown command {other}"))),
         }
     }
@@ -362,6 +378,12 @@ impl Command {
                     push(v);
                 }
             }
+            Command::Consistency { level } => {
+                push(b"CONSISTENCY");
+                if let Some(level) = level {
+                    push(level);
+                }
+            }
         }
         RespValue::array(items)
     }
@@ -378,7 +400,10 @@ impl Command {
             | Command::Expire { .. }
             | Command::HSet { .. }
             | Command::HDel { .. } => CommandKind::Write,
-            Command::Ping | Command::Wait { .. } | Command::ReplConf { .. } => CommandKind::Control,
+            Command::Ping
+            | Command::Wait { .. }
+            | Command::ReplConf { .. }
+            | Command::Consistency { .. } => CommandKind::Control,
         }
     }
 
@@ -400,7 +425,10 @@ impl Command {
             | Command::HLen { key }
             | Command::HGetAll { key } => Some(key),
             Command::Del { keys } => keys.first(),
-            Command::Ping | Command::Wait { .. } | Command::ReplConf { .. } => None,
+            Command::Ping
+            | Command::Wait { .. }
+            | Command::ReplConf { .. }
+            | Command::Consistency { .. } => None,
         }
     }
 
@@ -424,6 +452,7 @@ impl Command {
             Command::ReplConf { pairs } => {
                 pairs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
             }
+            Command::Consistency { level } => level.as_ref().map(Bytes::len).unwrap_or(0),
             Command::Ping | Command::Wait { .. } => 0,
         }
     }
@@ -525,6 +554,25 @@ mod tests {
             let round = Command::from_resp(&cmd.to_resp()).unwrap();
             assert_eq!(round, cmd);
         }
+    }
+
+    #[test]
+    fn parses_consistency_command() {
+        assert_eq!(
+            parse(&["CONSISTENCY", "eventual"]).unwrap(),
+            Command::Consistency {
+                level: Some("eventual".into())
+            }
+        );
+        assert_eq!(
+            parse(&["consistency"]).unwrap(),
+            Command::Consistency { level: None }
+        );
+        assert!(parse(&["CONSISTENCY", "a", "b"]).is_err());
+        let cmd = parse(&["CONSISTENCY", "ryw"]).unwrap();
+        assert_eq!(cmd.kind(), CommandKind::Control);
+        assert_eq!(cmd.routing_key(), None);
+        assert_eq!(Command::from_resp(&cmd.to_resp()).unwrap(), cmd);
     }
 
     #[test]

@@ -110,6 +110,23 @@ pub struct ReplicaStatus {
     pub resyncs: u64,
 }
 
+/// One served read with the provenance a routing layer needs: which replica
+/// answered and how far behind the leader it was at read time. The `lag`
+/// field is the *observed staleness* the follower-read ablation reports and
+/// the chaos harness's stale-read attribution consumes.
+#[derive(Debug, Clone)]
+pub struct RoutedRead {
+    /// The storage read itself.
+    pub result: ReadResult,
+    /// Replica that served the read.
+    pub replica: ReplicaId,
+    /// The serving replica's applied LSN at read time.
+    pub replica_lsn: Lsn,
+    /// Records the serving replica trailed the live leader by at read time
+    /// (0 when the leader served, or when no live leader exists to compare).
+    pub lag: Lsn,
+}
+
 /// Observability snapshot for the group.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupStatus {
@@ -312,6 +329,30 @@ impl ReplicaGroup {
     /// Highest LSN `id` has applied.
     pub fn acked_lsn(&self, id: ReplicaId) -> Result<Lsn> {
         self.find(id).map(|r| r.db.last_seq())
+    }
+
+    /// The live leader's current LSN (what followers converge toward).
+    pub fn leader_lsn(&self) -> Result<Lsn> {
+        self.leader_db().map(|db| db.last_seq())
+    }
+
+    /// Records replica `id` currently trails the live leader by (0 for the
+    /// leader itself). `Err(NoLeader)` while a failover is pending.
+    pub fn replica_lag(&self, id: ReplicaId) -> Result<Lsn> {
+        let leader = self.leader_lsn()?;
+        Ok(leader.saturating_sub(self.acked_lsn(id)?))
+    }
+
+    /// Replicas able to serve reads right now: alive, not awaiting a full
+    /// resync (divergent history must never be served), and — when `min_lsn`
+    /// is given — applied at least that LSN. Leader included.
+    pub fn readable_replicas(&self, min_lsn: Option<Lsn>) -> Vec<ReplicaId> {
+        self.replicas
+            .iter()
+            .filter(|r| r.alive && !r.needs_full_resync)
+            .filter(|r| min_lsn.is_none_or(|lsn| r.db.last_seq() >= lsn))
+            .map(|r| r.id)
+            .collect()
     }
 
     /// Live replicas (leader included) whose applied LSN is at least `lsn`.
@@ -519,18 +560,82 @@ impl ReplicaGroup {
         consistency: ReadConsistency,
         now: SimTime,
     ) -> Result<ReadResult> {
+        self.read_routed(key, consistency, now).map(|r| r.result)
+    }
+
+    /// Read `key` at the requested consistency level, reporting which replica
+    /// served it and the LSN lag observed at read time. `Eventual` and fenced
+    /// reads round-robin over qualifying replicas; a replica awaiting a full
+    /// resync never serves (its history may be divergent).
+    pub fn read_routed(
+        &mut self,
+        key: &[u8],
+        consistency: ReadConsistency,
+        now: SimTime,
+    ) -> Result<RoutedRead> {
         let replica = match consistency {
             ReadConsistency::Leader => self
                 .replicas
                 .iter()
                 .position(|r| r.role == Role::Leader && r.alive)
                 .ok_or(Error::NoLeader)?,
-            ReadConsistency::Eventual => self.pick_replica(|_| true).ok_or(Error::NoLeader)?,
+            ReadConsistency::Eventual => self
+                .pick_replica(|r| !r.needs_full_resync)
+                .ok_or(Error::NoLeader)?,
             ReadConsistency::ReadYourWrites(lsn) => self
-                .pick_replica(|r| r.db.last_seq() >= lsn)
+                .pick_replica(|r| !r.needs_full_resync && r.db.last_seq() >= lsn)
                 .ok_or(Error::NoQuorum { need: 1, acked: 0 })?,
         };
-        Ok(self.replicas[replica].db.get(key, now)?)
+        self.serve_from(replica, key, now)
+    }
+
+    /// Read `key` from a *specific* replica — the entry point for an external
+    /// routing layer (the proxy plane's `ReadRouter`) that picked the replica
+    /// from the MetaServer's view. The group re-validates the choice against
+    /// its authoritative state: a dead or divergent replica is refused, and a
+    /// replica below `min_lsn` fails the fence instead of serving stale data
+    /// (the router's view may be a heartbeat behind).
+    pub fn read_at(
+        &self,
+        id: ReplicaId,
+        key: &[u8],
+        min_lsn: Option<Lsn>,
+        now: SimTime,
+    ) -> Result<RoutedRead> {
+        let idx = self.find_index(id)?;
+        let r = &self.replicas[idx];
+        if !r.alive || r.needs_full_resync {
+            return Err(Error::ReplicaUnavailable(id));
+        }
+        if let Some(need) = min_lsn {
+            let lsn = r.db.last_seq();
+            if lsn < need {
+                return Err(Error::StaleReplica {
+                    replica: id,
+                    lsn,
+                    need,
+                });
+            }
+        }
+        self.serve_from(idx, key, now)
+    }
+
+    /// Serve a read from the replica at `idx`, stamping provenance.
+    fn serve_from(&self, idx: usize, key: &[u8], now: SimTime) -> Result<RoutedRead> {
+        let r = &self.replicas[idx];
+        let replica_lsn = r.db.last_seq();
+        let leader_lsn = self
+            .replicas
+            .iter()
+            .find(|x| x.role == Role::Leader && x.alive)
+            .map(|x| x.db.last_seq())
+            .unwrap_or(replica_lsn);
+        Ok(RoutedRead {
+            result: r.db.get(key, now)?,
+            replica: r.id,
+            replica_lsn,
+            lag: leader_lsn.saturating_sub(replica_lsn),
+        })
     }
 
     /// Round-robin over live replicas passing `filter`.
@@ -1219,6 +1324,84 @@ mod tests {
         failpoint::clear();
         g.tick().unwrap();
         assert_eq!(g.acked_lsn(20).unwrap(), g.leader_db().unwrap().last_seq());
+    }
+
+    #[test]
+    fn routed_reads_report_replica_and_lag() {
+        let (_d, mut g) = group("routed", WriteConcern::Async);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        // Nothing shipped yet: a leader read reports lag 0, and a follower
+        // serving Eventual reports the real staleness.
+        let r = g.read_routed(b"k", ReadConsistency::Leader, 0).unwrap();
+        assert_eq!(r.replica, 10);
+        assert_eq!(r.lag, 0);
+        let mut follower_lags = Vec::new();
+        for _ in 0..3 {
+            let r = g.read_routed(b"k", ReadConsistency::Eventual, 0).unwrap();
+            if r.replica != 10 {
+                follower_lags.push(r.lag);
+                assert!(r.result.value.is_none(), "unshipped write visible");
+            }
+        }
+        assert!(follower_lags.iter().all(|&l| l == lsn));
+        g.tick().unwrap();
+        assert_eq!(g.replica_lag(20).unwrap(), 0);
+        let r = g.read_routed(b"k", ReadConsistency::Eventual, 0).unwrap();
+        assert_eq!(r.lag, 0);
+        assert!(r.result.value.is_some());
+    }
+
+    #[test]
+    fn read_at_enforces_the_fence_against_stale_routing() {
+        let (_d, mut g) = group("read-at", WriteConcern::Async);
+        let lsn = g.put(b"k", b"v", None, 0).unwrap();
+        // Followers have not applied the write: a router that still believes
+        // they are caught up must be refused, not served stale data.
+        match g.read_at(20, b"k", Some(lsn), 0) {
+            Err(Error::StaleReplica {
+                replica: 20,
+                lsn: 0,
+                need,
+            }) => assert_eq!(need, lsn),
+            other => panic!("expected StaleReplica, got {other:?}"),
+        }
+        // The leader satisfies the same fence.
+        let r = g.read_at(10, b"k", Some(lsn), 0).unwrap();
+        assert_eq!(r.result.value.as_deref(), Some(&b"v"[..]));
+        // A dead replica is refused outright.
+        g.fail_replica(20).unwrap();
+        match g.read_at(20, b"k", None, 0) {
+            Err(Error::ReplicaUnavailable(20)) => {}
+            other => panic!("expected ReplicaUnavailable, got {other:?}"),
+        }
+        assert_eq!(g.readable_replicas(None), vec![10, 30]);
+        assert_eq!(g.readable_replicas(Some(lsn)), vec![10]);
+    }
+
+    #[test]
+    fn eventual_reads_never_served_by_divergent_replicas() {
+        let (_d, mut g) = group("no-divergent-reads", WriteConcern::Async);
+        for i in 0..5 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        g.tick().unwrap();
+        // Leader 10 takes a divergent unacked tail and dies; 20 leads.
+        g.leader_db()
+            .unwrap()
+            .put(b"unacked", b"x", None, 0)
+            .unwrap();
+        g.fail_replica(10).unwrap();
+        g.promote().unwrap();
+        // 10 revives flagged for resync: until the resync runs, no read may
+        // land on it (its history contains records the group never acked).
+        g.revive_replica(10).unwrap();
+        for _ in 0..6 {
+            let r = g
+                .read_routed(b"unacked", ReadConsistency::Eventual, 0)
+                .unwrap();
+            assert_ne!(r.replica, 10, "divergent replica served a read");
+            assert!(r.result.value.is_none(), "divergent tail leaked to a read");
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use failover::{
 };
 pub use group::{
     AdvanceStatus, GroupConfig, GroupStatus, PumpStatus, ReadConsistency, ReplicaGroup, ReplicaId,
-    ReplicaStatus, ResyncTicket, Role, WriteConcern,
+    ReplicaStatus, ResyncTicket, Role, RoutedRead, WriteConcern,
 };
 
 /// Replication log sequence number — the storage engine's record `seq`.
@@ -85,6 +85,20 @@ pub enum Error {
     NoPromotionCandidate,
     /// The replica id is not a member of this group.
     UnknownReplica(u32),
+    /// The replica cannot serve reads right now (dead, or awaiting a full
+    /// resync of divergent history).
+    ReplicaUnavailable(u32),
+    /// A fenced read was routed to a replica that has not applied the fence
+    /// LSN — the router's view was stale; the caller re-routes (typically to
+    /// the leader) instead of serving data older than the session's write.
+    StaleReplica {
+        /// The replica that failed the fence.
+        replica: u32,
+        /// Its applied LSN at read time.
+        lsn: Lsn,
+        /// The fence it needed to satisfy.
+        need: Lsn,
+    },
     /// A resync ticket was completed after the group's leadership or
     /// membership changed; the copy is discarded and the caller retries.
     ResyncSuperseded,
@@ -101,6 +115,15 @@ impl std::fmt::Display for Error {
             Error::LeaderStillAlive => write!(f, "cannot promote: leader still alive"),
             Error::NoPromotionCandidate => write!(f, "no live follower to promote"),
             Error::UnknownReplica(id) => write!(f, "replica {id} is not a group member"),
+            Error::ReplicaUnavailable(id) => {
+                write!(f, "replica {id} cannot serve reads (dead or divergent)")
+            }
+            Error::StaleReplica { replica, lsn, need } => {
+                write!(
+                    f,
+                    "replica {replica} at lsn {lsn} fails the read fence {need}"
+                )
+            }
             Error::ResyncSuperseded => {
                 write!(f, "resync superseded by a leadership/membership change")
             }

@@ -119,13 +119,7 @@ mod tests {
     use crate::load::{LoadVector, ReplicaLoad};
 
     fn replica(id: u64, partition: u64, ru: f64, storage: f64) -> ReplicaLoad {
-        ReplicaLoad {
-            id,
-            tenant: 1,
-            partition,
-            ru: LoadVector::flat(ru),
-            storage,
-        }
+        ReplicaLoad::from_total(id, 1, partition, LoadVector::flat(ru), 0.7, storage)
     }
 
     fn pool(n_nodes: u32, replicas_per_node: u64, ru: f64, storage: f64, id0: u32) -> PoolState {

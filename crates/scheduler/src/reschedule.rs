@@ -275,13 +275,14 @@ mod tests {
     use crate::load::LoadVector;
 
     fn replica(id: u64, tenant: u32, partition: u64, ru_peak: f64, storage: f64) -> ReplicaLoad {
-        ReplicaLoad {
+        ReplicaLoad::from_total(
             id,
             tenant,
             partition,
-            ru: LoadVector::flat(ru_peak),
+            LoadVector::flat(ru_peak),
+            0.7,
             storage,
-        }
+        )
     }
 
     /// A pool with one overloaded node and one idle node.

@@ -23,36 +23,40 @@ fn main() {
             .map(|i| NodeState::new(i, 1_000.0, 10_000.0))
             .collect(),
     );
-    // Node 0: CPU-hungry tenants (search/e-commerce shapes from Table 1).
+    // Node 0: CPU-hungry tenants (search/e-commerce shapes from Table 1 —
+    // read-dominant, so most of the RU total is read share).
     for id in 0..30u64 {
-        pool.nodes[0].add_replica(ReplicaLoad {
+        pool.nodes[0].add_replica(ReplicaLoad::from_total(
             id,
-            tenant: 1,
-            partition: id,
-            ru: LoadVector::flat(35.0),
-            storage: 40.0,
-        });
+            1,
+            id,
+            LoadVector::flat(35.0),
+            0.9,
+            40.0,
+        ));
     }
-    // Node 1: storage-hungry tenants (direct-message shape).
+    // Node 1: storage-hungry tenants (direct-message shape, write-heavy).
     for id in 100..130u64 {
-        pool.nodes[1].add_replica(ReplicaLoad {
+        pool.nodes[1].add_replica(ReplicaLoad::from_total(
             id,
-            tenant: 2,
-            partition: id,
-            ru: LoadVector::flat(2.0),
-            storage: 320.0,
-        });
+            2,
+            id,
+            LoadVector::flat(2.0),
+            0.3,
+            320.0,
+        ));
     }
     // A sprinkle of medium tenants elsewhere.
     for id in 200..260u64 {
         let node = 2 + (id as usize % 18);
-        pool.nodes[node].add_replica(ReplicaLoad {
+        pool.nodes[node].add_replica(ReplicaLoad::from_total(
             id,
-            tenant: 3 + (id % 5) as u32,
-            partition: id,
-            ru: LoadVector::flat(6.0),
-            storage: 60.0,
-        });
+            3 + (id % 5) as u32,
+            id,
+            LoadVector::flat(6.0),
+            0.7,
+            60.0,
+        ));
     }
 
     let rescheduler = Rescheduler::default();

@@ -1,11 +1,18 @@
 //! Standalone ABase node: a RESP2 server over the LSM engine.
 //!
-//! Usage: `cargo run --release --bin abase-server -- [addr] [data-dir]`
-//! (defaults: 127.0.0.1:7379, ./abase-data). Connect with any Redis client;
-//! `AUTH <tenant-id>` selects the tenant namespace.
+//! Usage: `cargo run --release --bin abase-server -- [addr] [data-dir] [replicas]`
+//! (defaults: 127.0.0.1:7379, ./abase-data, 1). Connect with any Redis
+//! client; `AUTH <tenant-id>` selects the tenant namespace.
+//!
+//! With `replicas > 1` the node fronts a local WAL-shipping replica group:
+//! writes commit under the group's write concern, `WAIT` fences on follower
+//! acks, and `CONSISTENCY eventual|readyourwrites` routes the connection's
+//! GETs to follower replicas (LSN-fenced for `readyourwrites`).
 
-use abase::core::{RespServer, TableEngine};
+use abase::core::{ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
+use abase::replication::{GroupConfig, ReplicaGroup, WriteConcern};
+use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -13,10 +20,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:7379".to_string());
     let dir = args.next().unwrap_or_else(|| "./abase-data".to_string());
-    let engine = Arc::new(TableEngine::open(&dir, DbConfig::default())?);
-    let server = RespServer::bind(Arc::clone(&engine), &addr)?;
+    let replicas: u32 = args.next().map(|r| r.parse()).transpose()?.unwrap_or(1);
+    let (engine, group) = if replicas > 1 {
+        let ids: Vec<u32> = (1..=replicas).collect();
+        let group = ReplicaGroup::bootstrap(
+            0,
+            &dir,
+            &ids,
+            GroupConfig::new(WriteConcern::Quorum, DbConfig::default()),
+        )?;
+        let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
+        (engine, Some(Arc::new(Mutex::new(group))))
+    } else {
+        (
+            Arc::new(TableEngine::open(&dir, DbConfig::default())?),
+            None,
+        )
+    };
+    let mut server = RespServer::bind(Arc::clone(&engine), &addr)?;
+    if let Some(group) = &group {
+        server = server.with_replication(Arc::clone(group) as Arc<dyn ReplicationControl>);
+    }
     println!(
-        "abase-server listening on {} (data in {dir})",
+        "abase-server listening on {} (data in {dir}, {replicas} replica(s))",
         server.local_addr()?
     );
     // Drive virtual time from the wall clock (microseconds since start), and
@@ -24,11 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // writer, so without this a SIGKILL could lose an unbounded number of
     // acknowledged writes. This bounds the loss window to one tick (fsync
     // per append is the `sync_wal` config for machines that need zero loss).
+    // With a replica group attached the same cadence pumps the followers, so
+    // `CONSISTENCY eventual` reads converge without a client-issued WAIT.
     let clock = server.clock();
     let started = std::time::Instant::now();
     std::thread::spawn(move || loop {
         clock.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         let _ = engine.db().flush_wal();
+        if let Some(group) = &group {
+            let _ = group.lock().tick();
+        }
         std::thread::sleep(std::time::Duration::from_millis(100));
     });
     server.run()?;

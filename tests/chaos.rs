@@ -27,10 +27,14 @@ fn pinned_regression_seeds_stay_green() {
     let mut failures = Vec::new();
     let mut acked = 0u64;
     let mut kills = 0u64;
+    let mut follower_reads = 0u64;
+    let mut stale_reads = 0u64;
     for &seed in PINNED_SEEDS {
         let report = runner.run_episode(seed);
         acked += report.writes_acked;
         kills += report.kills;
+        follower_reads += report.follower_reads;
+        stale_reads += report.stale_reads;
         for violation in &report.violations {
             eprintln!("CHAOS_SEED={seed}: {violation}");
         }
@@ -50,6 +54,18 @@ fn pinned_regression_seeds_stay_green() {
         "pinned episodes acked too few writes: {acked}"
     );
     assert!(kills >= 8, "pinned episodes killed too few nodes: {kills}");
+    // Routed reads must really exercise followers — and under async
+    // shipping plus injected stalls, some legal staleness must have been
+    // observed (each stale read passed the lag-attribution check).
+    assert!(
+        follower_reads > 100,
+        "routed reads barely reached followers: {follower_reads}"
+    );
+    assert!(
+        stale_reads > 0,
+        "no staleness observed across pinned fault episodes — the \
+         stale-read attribution check is vacuous"
+    );
 }
 
 #[test]
