@@ -104,9 +104,44 @@ fn main() {
     ];
     print_table(&["metric", "before", "after", "reduction", "paper"], &rows);
     println!(
-        "\n{} migrations in {:.2?} (≤400 rounds of Algorithm 2)",
+        "\n{} migrations in {:.2?} (≤400 rounds of Algorithm 2; each round's \
+         moves complete individually before the next round starts)",
         moves.len(),
         elapsed
+    );
+    // Rescheduling is real data movement, not a routing flip: price the plan
+    // under the §3.3 per-disk copy model. Sources spread across the pool, so
+    // the wall-clock cost is set by the busiest source disk, not the total.
+    let moved_storage: f64 = moves
+        .iter()
+        .filter_map(|m| {
+            pool.nodes
+                .iter()
+                .flat_map(|n| n.replicas.iter())
+                .find(|r| r.id == m.replica_id)
+                .map(|r| r.storage)
+        })
+        .sum();
+    let mut per_source: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for m in &moves {
+        if let Some(r) = pool
+            .nodes
+            .iter()
+            .flat_map(|n| n.replicas.iter())
+            .find(|r| r.id == m.replica_id)
+        {
+            *per_source.entry(m.from_node).or_default() += r.storage;
+        }
+    }
+    let disk_units_per_hour = 2_000.0;
+    let busiest = per_source.values().copied().fold(0.0f64, f64::max);
+    println!(
+        "data moved: {moved_storage:.0} storage units across {} source disks; at \
+         {disk_units_per_hour:.0} units/h per disk the plan drains in ≈{:.1} h \
+         (serialized through one disk it would take ≈{:.1} h)",
+        per_source.len(),
+        busiest / disk_units_per_hour,
+        moved_storage / disk_units_per_hour
     );
     // Scatter summary: utilization ranges tighten.
     let ru_utils: Vec<f64> = pool.nodes.iter().map(NodeState::ru_util).collect();

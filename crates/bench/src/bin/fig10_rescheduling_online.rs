@@ -2,11 +2,28 @@
 //!
 //! "Following the rescheduling algorithms, the maximum RU utilization among
 //! DataNodes increasingly converged towards the average RU utilization."
+//!
+//! Migrations are **real data movement**, not routing flips: each move stays
+//! in flight for the hours its checkpoint copy takes under the §3.3 per-disk
+//! bandwidth model, and its two nodes stay blocked (`is_migrating`) until
+//! that individual move completes — the same per-migration completion
+//! semantics the live `MigrationEngine` enforces.
 
 use abase_bench::{banner, pct, sparkline};
-use abase_scheduler::{LoadVector, NodeState, PoolState, ReplicaLoad, Rescheduler};
+use abase_scheduler::{LoadVector, Migration, NodeState, PoolState, ReplicaLoad, Rescheduler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Modeled per-disk copy bandwidth, in storage units per hour: a migrated
+/// replica of storage `s` keeps its source and destination blocked for
+/// `ceil(s / COPY_UNITS_PER_HOUR)` hourly steps.
+const COPY_UNITS_PER_HOUR: f64 = 600.0;
+
+/// A move in flight: completes (unblocking exactly its two nodes) at `done_hour`.
+struct InflightMove {
+    migration: Migration,
+    done_hour: usize,
+}
 
 fn main() {
     banner(
@@ -43,16 +60,47 @@ fn main() {
     let rescheduler = Rescheduler::default();
     let mut max_series = Vec::new();
     let mut avg_series = Vec::new();
+    let mut inflight: Vec<InflightMove> = Vec::new();
+    let mut total_moves = 0usize;
+    let mut total_units_moved = 0.0f64;
+    let mut longest_copy_hours = 0usize;
     let reschedule_start_hour = 24usize;
     println!("(50 nodes, 600 replicas; rescheduling starts at hour {reschedule_start_hour})\n");
     for hour in 0..100usize {
         if hour >= reschedule_start_hour {
+            // Complete exactly the moves whose modeled copy has finished;
+            // everything else keeps its nodes blocked into this round.
+            let (done, still): (Vec<InflightMove>, Vec<InflightMove>) =
+                inflight.into_iter().partition(|m| m.done_hour <= hour);
+            inflight = still;
+            for m in done {
+                pool.complete_migration(m.migration.from_node, m.migration.to_node);
+            }
             // One displayed step aggregates the six 10-minute production
-            // rounds; migrations are slow, so at most one in-flight migration
-            // per node is carried across the hour (finish_migrations clears
-            // the flags at the hour boundary).
-            pool.finish_migrations();
-            rescheduler.reschedule_round(&mut pool);
+            // rounds; at most one in-flight migration per node either way.
+            for migration in rescheduler.reschedule_round(&mut pool) {
+                // The moved replica now sits on the destination: look its
+                // storage up there to model the copy the move just started.
+                let storage = pool
+                    .nodes
+                    .iter()
+                    .find(|n| n.id == migration.to_node)
+                    .and_then(|n| {
+                        n.replicas
+                            .iter()
+                            .find(|r| r.id == migration.replica_id)
+                            .map(|r| r.storage)
+                    })
+                    .unwrap_or(0.0);
+                let copy_hours = (storage / COPY_UNITS_PER_HOUR).ceil().max(1.0) as usize;
+                longest_copy_hours = longest_copy_hours.max(copy_hours);
+                total_units_moved += storage;
+                total_moves += 1;
+                inflight.push(InflightMove {
+                    migration,
+                    done_hour: hour + copy_hours,
+                });
+            }
         }
         max_series.push(pool.max_ru_util());
         avg_series.push(pool.mean_ru_util());
@@ -76,6 +124,12 @@ fn main() {
     println!(
         "gap shrank by {} (paper: max converges to average)",
         pct(1.0 - gap_after / gap_before.max(1e-12))
+    );
+    println!(
+        "{total_moves} migrations moved {total_units_moved:.0} storage units \
+         ({COPY_UNITS_PER_HOUR:.0}/h per disk; longest copy {longest_copy_hours} h; \
+         {} still in flight at hour 99)",
+        inflight.len()
     );
     println!("\nhour | max util | avg util");
     for hour in (0..100).step_by(10) {

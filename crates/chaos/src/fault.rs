@@ -74,6 +74,35 @@ pub enum FaultKind {
         /// Copied chunks before the source dies.
         after_chunks: u32,
     },
+    /// Start a live migration of one of `partition`'s replicas, then kill
+    /// the **destination** one tick later — mid-copy/catch-up, before
+    /// cut-over. The engine must abort the move (source keeps serving) and
+    /// normal failover must clean up whatever else the destination hosted.
+    MigrateKillDest {
+        /// Targeted partition.
+        partition: u64,
+    },
+    /// Start a live migration, then kill the **source** one tick later. The
+    /// staged destination is torn back out, the original membership fails
+    /// over normally, and no acked write may be lost.
+    MigrateKillSource {
+        /// Targeted partition.
+        partition: u64,
+    },
+    /// Start a live migration whose staged checkpoint copy fails mid-stream
+    /// (torn checkpoint). The engine must abort the move with the source
+    /// replica untouched and the staging tree cleaned.
+    MigrateTornCheckpoint {
+        /// Targeted partition.
+        partition: u64,
+    },
+    /// Start a live migration with no targeted misfortune: it must complete
+    /// its cut-over while the episode's *other* faults fly around, without
+    /// ever double-serving the partition or losing an acked write.
+    MigrateLive {
+        /// Targeted partition.
+        partition: u64,
+    },
 }
 
 /// A scheduled fault.
@@ -153,6 +182,32 @@ impl FaultPlan {
             };
             events.push(FaultEvent { tick, kind });
         }
+        // Migration misfortune rides on a forked RNG so the base schedule a
+        // seed draws is unchanged from before migrations existed — pinned
+        // regression seeds keep replaying the exact plans that caught their
+        // bugs, with migration events appended on top.
+        let mut mig_rng = StdRng::seed_from_u64(
+            seed.wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(0x2545F),
+        );
+        let n_mig = mig_rng.gen_range(1..3usize);
+        for _ in 0..n_mig {
+            let tick = mig_rng.gen_range(1..last_tick);
+            let partition = mig_rng.gen_range(0..config.partitions);
+            let kind = match mig_rng.gen_range(0..4u32) {
+                0 if kills < kill_budget => {
+                    kills += 1;
+                    FaultKind::MigrateKillDest { partition }
+                }
+                1 if kills < kill_budget => {
+                    kills += 1;
+                    FaultKind::MigrateKillSource { partition }
+                }
+                2 => FaultKind::MigrateTornCheckpoint { partition },
+                _ => FaultKind::MigrateLive { partition },
+            };
+            events.push(FaultEvent { tick, kind });
+        }
         events.sort_by_key(|e| e.tick);
         Self { seed, events }
     }
@@ -162,8 +217,8 @@ impl FaultPlan {
         self.events.iter().filter(move |e| e.tick == tick)
     }
 
-    /// How many events in the plan kill a node (directly or via torn-tail /
-    /// mid-resync escalation).
+    /// How many events in the plan kill a node (directly, via torn-tail /
+    /// mid-resync escalation, or as a migration's delayed node death).
     pub fn planned_kills(&self) -> usize {
         self.events
             .iter()
@@ -174,6 +229,8 @@ impl FaultPlan {
                         | FaultKind::KillRandomNode
                         | FaultKind::TornLeaderTail { .. }
                         | FaultKind::MidResyncLeaderDeath { .. }
+                        | FaultKind::MigrateKillDest { .. }
+                        | FaultKind::MigrateKillSource { .. }
                 )
             })
             .count()

@@ -51,7 +51,8 @@ fn main() {
             if !quiet {
                 println!(
                     "episode seed={} ok: {} acked / {} failed writes, {} reads, \
-                     {} kills, {} resyncs, {} faults",
+                     {} kills, {} resyncs, {} faults, migrations {}/{}/{} \
+                     (started/done/aborted)",
                     report.seed,
                     report.writes_acked,
                     report.writes_failed,
@@ -59,6 +60,9 @@ fn main() {
                     report.kills,
                     report.resyncs,
                     report.faults_armed,
+                    report.migrations_started,
+                    report.migrations_completed,
+                    report.migrations_aborted,
                 );
             }
         } else {

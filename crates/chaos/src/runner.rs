@@ -103,6 +103,12 @@ pub struct EpisodeReport {
     pub max_observed_lag: u64,
     /// Fenced read-your-writes checks performed.
     pub ryw_checks: u64,
+    /// Live migrations started by the plan's migration events.
+    pub migrations_started: u64,
+    /// Live migrations that completed a cut-over during the episode.
+    pub migrations_completed: u64,
+    /// Live migrations the engine aborted (killed endpoint, torn copy).
+    pub migrations_aborted: u64,
     /// Nodes killed (direct events plus torn-tail / mid-resync escalations).
     pub kills: u64,
     /// Full resyncs observed across all groups by episode end.
@@ -237,6 +243,9 @@ impl ChaosRunner {
             stale_reads: 0,
             max_observed_lag: 0,
             ryw_checks: 0,
+            migrations_started: 0,
+            migrations_completed: 0,
+            migrations_aborted: 0,
             kills: 0,
             resyncs: 0,
             faults_armed: plan.events.len(),
@@ -246,11 +255,36 @@ impl ChaosRunner {
         let mut keys: BTreeMap<u64, BTreeMap<String, KeyState>> = BTreeMap::new();
         let mut watermarks: BTreeMap<(u64, u32), (u64, u64)> = BTreeMap::new();
         let mut op_counter = 0u64;
+        // Node deaths scheduled one tick after their migration started
+        // (kill-destination-mid-copy / kill-source-mid-catch-up). Kept
+        // outside `ActiveFaults` so an unrelated kill's attribution reset
+        // cannot cancel a planned migration death.
+        let mut delayed_kills: Vec<(u64, u32)> = Vec::new();
+        let mut aborts_seen = 0usize;
 
         for tick in 0..cfg.ticks {
             let now = tick * 100_000;
+            let due: Vec<u32> = delayed_kills
+                .iter()
+                .filter(|&&(t, _)| t <= tick)
+                .map(|&(_, n)| n)
+                .collect();
+            delayed_kills.retain(|&(t, _)| t > tick);
+            for node in due {
+                if cluster.live_nodes().contains(&node) {
+                    self.kill(&mut cluster, node, &mut active, &mut report);
+                }
+            }
             for event in plan.events_at(tick) {
-                self.arm_event(event, &mut cluster, &mut active, &mut rng, &mut report);
+                self.arm_event(
+                    event,
+                    &mut cluster,
+                    &mut active,
+                    &mut delayed_kills,
+                    tick,
+                    &mut rng,
+                    &mut report,
+                );
             }
             for p in 0..cfg.partitions {
                 for _ in 0..cfg.ops_per_tick {
@@ -342,6 +376,17 @@ impl ChaosRunner {
             if let Err(e) = cluster.tick() {
                 self.on_tick_error(e, &mut cluster, &mut active, &mut report);
             }
+            // Migration aborts are handled inside the engine (the source
+            // replica keeps serving); attribute each new one so a consumed
+            // torn-checkpoint rule does not linger as armed state.
+            let aborted = cluster.migrations().aborted();
+            for abort in &aborted[aborts_seen..] {
+                report.migrations_aborted += 1;
+                if abort.reason.contains("staging failed") {
+                    active.ckpt_fail.remove(&abort.req.partition);
+                }
+            }
+            aborts_seen = aborted.len();
             self.check_tick_invariants(&cluster, &mut watermarks, tick, &mut report);
         }
 
@@ -361,11 +406,14 @@ impl ChaosRunner {
     }
 
     /// Install a plan event into the cluster / fail-point registry.
+    #[allow(clippy::too_many_arguments)]
     fn arm_event(
         &self,
         event: &FaultEvent,
         cluster: &mut ReplicatedCluster,
         active: &mut ActiveFaults,
+        delayed_kills: &mut Vec<(u64, u32)>,
+        tick: u64,
         rng: &mut StdRng,
         report: &mut EpisodeReport,
     ) {
@@ -434,6 +482,68 @@ impl ChaosRunner {
                     active.ckpt_fail.insert(partition);
                 }
             }
+            FaultKind::MigrateKillDest { partition } => {
+                if let Some((_, to)) = self.start_migration(cluster, partition, rng, report) {
+                    delayed_kills.push((tick + 1, to));
+                }
+            }
+            FaultKind::MigrateKillSource { partition } => {
+                if let Some((from, _)) = self.start_migration(cluster, partition, rng, report) {
+                    delayed_kills.push((tick + 1, from));
+                }
+            }
+            FaultKind::MigrateLive { partition } => {
+                self.start_migration(cluster, partition, rng, report);
+            }
+            FaultKind::MigrateTornCheckpoint { partition } => {
+                if let Some(dir) = leader_dir(cluster, partition) {
+                    if self
+                        .start_migration(cluster, partition, rng, report)
+                        .is_some()
+                    {
+                        // The staged copy (next cluster tick) dies mid-stream.
+                        // The rule is attributed as a checkpoint failure until
+                        // the engine's abort consumes it — if an unrelated
+                        // resync on the same leader trips it first, the
+                        // standard mid-resync escalation applies.
+                        failpoint::install("db.checkpoint", Some(&dir), FaultAction::Error, 0, 1);
+                        active.ckpt_fail.insert(partition);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Start a live migration of one of `partition`'s replicas to a random
+    /// live node outside its replica set. Returns the (source, destination)
+    /// pair if a move was enqueued.
+    fn start_migration(
+        &self,
+        cluster: &mut ReplicatedCluster,
+        partition: u64,
+        rng: &mut StdRng,
+        report: &mut EpisodeReport,
+    ) -> Option<(u32, u32)> {
+        let set = cluster.meta().replica_set(partition)?.clone();
+        let members = set.members();
+        let from = members[rng.gen_range(0..members.len())];
+        let spares: Vec<u32> = cluster
+            .live_nodes()
+            .into_iter()
+            .filter(|n| !set.contains(*n))
+            .collect();
+        if spares.is_empty() {
+            return None;
+        }
+        let to = spares[rng.gen_range(0..spares.len())];
+        match cluster.enqueue_migration(partition, from, to) {
+            Ok(()) => {
+                report.migrations_started += 1;
+                Some((from, to))
+            }
+            // A dead source, pending move, or similar: the event degrades to
+            // a no-op, which the plan's budget already tolerates.
+            Err(_) => None,
         }
     }
 
@@ -607,6 +717,40 @@ impl ChaosRunner {
                 }
                 watermarks.insert((p, r.id), (r.acked_lsn, r.resyncs));
             }
+            // Migration invariant: the partition is never double-served. The
+            // MetaServer's replica set and the group's *live* membership must
+            // agree exactly (migrations switch both atomically at
+            // join/cut-over; a dead member may linger in the group awaiting
+            // adoption, but the meta set drops it at failover), and no node
+            // outside the set may still claim to host a replica — a
+            // migrated-away source that lingered anywhere could serve reads
+            // for a partition it no longer owns.
+            let group_members: BTreeSet<u32> = status
+                .replicas
+                .iter()
+                .filter(|r| r.alive)
+                .map(|r| r.id)
+                .collect();
+            let meta_members: BTreeSet<u32> = cluster
+                .meta()
+                .replica_set(p)
+                .map(|s| s.members().into_iter().collect())
+                .unwrap_or_default();
+            if group_members != meta_members {
+                report.violations.push(format!(
+                    "DOUBLE-SERVE RISK on p{p} at tick {tick}: meta set {meta_members:?} \
+                     != live group members {group_members:?}"
+                ));
+            }
+            for node in 0..self.config.nodes {
+                let hosts = cluster.node(node).and_then(|n| n.replica_role(p)).is_some();
+                if hosts && !meta_members.contains(&node) {
+                    report.violations.push(format!(
+                        "DOUBLE-SERVE RISK on p{p} at tick {tick}: node {node} still \
+                         hosts a replica outside the replica set {meta_members:?}"
+                    ));
+                }
+            }
         }
     }
 
@@ -619,6 +763,7 @@ impl ChaosRunner {
         keys: &BTreeMap<u64, BTreeMap<String, KeyState>>,
         report: &mut EpisodeReport,
     ) {
+        report.migrations_completed = cluster.migrations().completed().len() as u64;
         for p in 0..self.config.partitions {
             let Some(group) = cluster.group(p) else {
                 continue;

@@ -6,6 +6,7 @@
 //! Figures 5, 6, and 7.
 
 use crate::meta::{MetaServer, ReplicaSet};
+use crate::migration::{MigrationConfig, MigrationEngine, MigrationError, MigrationRequest};
 use crate::node::{DataNodeConfig, DataNodeSim};
 use crate::proxy::{ProxyDecision, ProxyPlane, ProxyPlaneConfig};
 use crate::router::{ReadRouter, ReadRouterConfig, RouterStats};
@@ -15,7 +16,7 @@ use abase_quota::ru::ReadOutcome;
 use abase_quota::{RuEstimator, TenantQuotaMonitor};
 use abase_replication::{
     reconstruct_parallel, Error as ReplError, GroupConfig, Lsn, ReadConsistency,
-    ReconstructionReport, ReconstructionTask, ReplicaGroup, Role, WriteConcern,
+    ReconstructionReport, ReconstructionTask, ReplicaGroup, Role, Throttle, WriteConcern,
 };
 use abase_util::clock::{mins, SimTime};
 use abase_util::LatencyHistogram;
@@ -357,6 +358,10 @@ pub struct ReplicatedClusterConfig {
     pub wait_timeout: std::time::Duration,
     /// Read-router tuning (staleness budget for `Eventual` follower reads).
     pub router: ReadRouterConfig,
+    /// Live-migration engine tuning (cut-over lag budget, catch-up cap).
+    /// Migration copies are throttled by `recovery_bandwidth` — data
+    /// movement and failover re-seeding charge the same §3.3 disk model.
+    pub migration: MigrationConfig,
 }
 
 impl Default for ReplicatedClusterConfig {
@@ -368,6 +373,7 @@ impl Default for ReplicatedClusterConfig {
             recovery_bandwidth: None,
             wait_timeout: std::time::Duration::from_millis(100),
             router: ReadRouterConfig::default(),
+            migration: MigrationConfig::default(),
         }
     }
 }
@@ -396,6 +402,9 @@ pub struct ReplicatedCluster {
     /// through it, so `Eventual` reads spread over caught-up followers and
     /// fenced reads pick a replica that holds the session's write.
     router: ReadRouter,
+    /// The live-migration engine: scheduler plans become staged checkpoint
+    /// copies + binlog catch-up + epoch-guarded cut-overs, drained by `tick`.
+    migrations: MigrationEngine,
     /// RU pricing for the per-replica split ledger.
     ru: RuEstimator,
 }
@@ -435,6 +444,7 @@ impl ReplicatedCluster {
             dead_nodes: std::collections::HashSet::new(),
             groups: HashMap::new(),
             router: ReadRouter::new(config.router),
+            migrations: MigrationEngine::new(config.migration),
             ru: RuEstimator::default(),
         }
     }
@@ -451,6 +461,78 @@ impl ReplicatedCluster {
     /// The meta server (routing tables, failover planning).
     pub fn meta(&self) -> &MetaServer {
         &self.meta
+    }
+
+    /// Mutable meta-server access (routing experiments, ablation baselines).
+    pub fn meta_mut(&mut self) -> &mut MetaServer {
+        &mut self.meta
+    }
+
+    /// The live-migration engine's state (queue, in-flight, history).
+    pub fn migrations(&self) -> &MigrationEngine {
+        &self.migrations
+    }
+
+    /// Does `node` have an in-flight replica move (source or destination)?
+    /// The scheduler's `NodeState::is_migrating` should mirror this.
+    pub fn is_node_migrating(&self, node: NodeId) -> bool {
+        self.migrations.is_migrating(node)
+    }
+
+    /// The rescheduler's view of this cluster, built from the per-replica
+    /// split RU ledgers: one `NodeState` per node (capacity sized to the
+    /// observed peak node load × `capacity_headroom`, so utilizations land
+    /// in the regime where Algorithm 2's S_L/S_M/S_H division is
+    /// meaningful), one `ReplicaLoad` per hosted replica, `is_migrating`
+    /// mirrored from the engine (dead nodes are marked migrating so no plan
+    /// targets them). Replica ids encode `(partition << 32) | node`; an
+    /// Algorithm-2 `Migration` over this view maps back onto the cluster
+    /// via [`ReplicatedCluster::migration_request_from_plan`].
+    pub fn scheduler_pool_view(&self, capacity_headroom: f64) -> abase_scheduler::PoolState {
+        let peak = self
+            .nodes
+            .values()
+            .map(|n| {
+                n.replica_ru_splits()
+                    .iter()
+                    .map(|(_, s)| s.total())
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, f64::max);
+        let capacity = peak * capacity_headroom + 1.0;
+        let nodes = self
+            .node_ids
+            .iter()
+            .map(|&id| {
+                let mut state = abase_scheduler::NodeState::new(id, capacity, 1e9);
+                state.is_migrating =
+                    self.migrations.is_migrating(id) || self.dead_nodes.contains(&id);
+                if let Some(node) = self.nodes.get(&id) {
+                    for (partition, split) in node.replica_ru_splits() {
+                        state.add_replica(abase_scheduler::ReplicaLoad::split(
+                            (partition << 32) | u64::from(id),
+                            1,
+                            partition,
+                            abase_scheduler::LoadVector::flat(split.read_ru),
+                            abase_scheduler::LoadVector::flat(split.write_ru),
+                            1.0,
+                        ));
+                    }
+                }
+                state
+            })
+            .collect();
+        abase_scheduler::PoolState::new(nodes)
+    }
+
+    /// Decode an Algorithm-2 plan over a [`ReplicatedCluster::scheduler_pool_view`]
+    /// back into the engine's request shape.
+    pub fn migration_request_from_plan(m: &abase_scheduler::Migration) -> MigrationRequest {
+        MigrationRequest {
+            partition: m.replica_id >> 32,
+            from: m.from_node,
+            to: m.to_node,
+        }
     }
 
     /// A node's placement bookkeeping.
@@ -591,7 +673,12 @@ impl ReplicatedCluster {
         let group = self.groups.get(&partition).ok_or(ReplError::NoLeader)?;
         let (routed, is_leader) = match group.read_at(decision.node, key, fence, now) {
             Ok(r) => (r, decision.is_leader),
-            Err(ReplError::StaleReplica { .. }) | Err(ReplError::ReplicaUnavailable(_))
+            // UnknownReplica covers a routing view that still names a
+            // migrated-away source: the cut-over removed the member between
+            // the router's decision and the group's check.
+            Err(ReplError::StaleReplica { .. })
+            | Err(ReplError::ReplicaUnavailable(_))
+            | Err(ReplError::UnknownReplica(_))
                 if !decision.is_leader =>
             {
                 // The router's health view trailed reality; the leader holds
@@ -642,12 +729,13 @@ impl ReplicatedCluster {
     }
 
     /// Ship pending log on every group (the per-tick replication pump that
-    /// drains `Async` writes to followers), then refresh the meta server's
-    /// replica health view.
+    /// drains `Async` writes to followers), drain the migration queue one
+    /// step, then refresh the meta server's replica health view.
     pub fn tick(&mut self) -> abase_replication::Result<()> {
         for group in self.groups.values_mut() {
             group.tick()?;
         }
+        self.step_migrations();
         let partitions: Vec<PartitionId> = self.groups.keys().copied().collect();
         for partition in partitions {
             self.sync_replica_state(partition);
@@ -655,11 +743,274 @@ impl ReplicatedCluster {
         Ok(())
     }
 
+    /// Accept a live migration of `partition`'s replica off `from` onto
+    /// `to`. Validated against the current placement; executed by subsequent
+    /// [`ReplicatedCluster::tick`]s (staged copy → binlog catch-up →
+    /// epoch-guarded cut-over → source teardown), at most one in-flight move
+    /// per node.
+    pub fn enqueue_migration(
+        &mut self,
+        partition: PartitionId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), MigrationError> {
+        let group = self
+            .groups
+            .get(&partition)
+            .ok_or(MigrationError::UnknownPartition(partition))?;
+        if !group.members().contains(&from) {
+            return Err(MigrationError::SourceNotMember(from));
+        }
+        if group.members().contains(&to) {
+            return Err(MigrationError::DestAlreadyMember(to));
+        }
+        for node in [from, to] {
+            if self.dead_nodes.contains(&node) || !self.nodes.contains_key(&node) {
+                return Err(MigrationError::NodeDead(node));
+            }
+        }
+        self.migrations.enqueue(MigrationRequest {
+            partition,
+            from,
+            to,
+        })
+    }
+
+    /// One engine step: progress in-flight moves toward cut-over, then start
+    /// queued moves whose nodes are idle. A move started this tick never
+    /// cuts over before the next tick, so `is_migrating` back-pressure is
+    /// observable for at least one full tick.
+    fn step_migrations(&mut self) {
+        self.migrations.advance_tick();
+        self.progress_inflight_migrations();
+        self.start_queued_migrations();
+    }
+
+    /// Stage every startable queued move: epoch-guarded join via the shared
+    /// resync ticket machinery, checkpoint copy throttled by the §3.3
+    /// recovery-bandwidth model, copy RU charged to both ends.
+    fn start_queued_migrations(&mut self) {
+        let throttle = self.config.recovery_bandwidth.map(Throttle::new);
+        for req in self.migrations.take_startable() {
+            match self.stage_migration(req, throttle.as_ref()) {
+                Ok((bytes, secs)) => {
+                    self.migrations.note_joined(req, bytes, secs);
+                    // The destination is a group member from here on: meta's
+                    // set and the node registry learn about it immediately so
+                    // health reports and failover planning see it.
+                    self.meta.begin_migration(req.partition, req.to);
+                    if let Some(node) = self.nodes.get_mut(&req.to) {
+                        node.host_replica(req.partition, Role::Follower);
+                    }
+                    let copy_ru = self.ru.write_ru(bytes as usize, 1);
+                    if let Some(node) = self.nodes.get_mut(&req.from) {
+                        node.record_copy_out(req.partition, copy_ru);
+                    }
+                    if let Some(node) = self.nodes.get_mut(&req.to) {
+                        node.record_copy_in(req.partition, copy_ru);
+                    }
+                    self.sync_replica_state(req.partition);
+                }
+                Err(e) => {
+                    // Copy or join failed before the destination became a
+                    // member: the source replica is untouched, the staging
+                    // tree is cleaned by the ticket, and the busy flags the
+                    // start acquired are released.
+                    self.migrations
+                        .note_staging_failed(req, format!("staging failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// The staged copy for one move: `begin_join` → throttled checkpoint
+    /// stream → `complete_join`. Returns (bytes copied, wall-clock seconds).
+    fn stage_migration(
+        &mut self,
+        req: MigrationRequest,
+        throttle: Option<&Throttle>,
+    ) -> abase_replication::Result<(u64, f64)> {
+        let base_dir = self.base_dir.clone();
+        let group = self
+            .groups
+            .get_mut(&req.partition)
+            .ok_or(ReplError::NoLeader)?;
+        let ticket = group.begin_join(req.to, &base_dir)?;
+        let t0 = std::time::Instant::now();
+        let info = ticket.copy_throttled(throttle)?;
+        let secs = t0.elapsed().as_secs_f64();
+        group.complete_join(ticket, info)?;
+        // No fallible work after the join: an error here would leave the
+        // destination installed in the group while the caller's abort path
+        // assumes membership never changed. Catch-up starts with the next
+        // tick's pump (`progress_inflight_migrations`), whose failures run
+        // the full staged-destination teardown.
+        Ok((info.bytes_copied, secs))
+    }
+
+    /// Advance every in-flight move: pump the destination, and once its lag
+    /// is within the cut-over budget (and it has been in flight for at least
+    /// one tick), drain to lag 0 and cut over atomically.
+    fn progress_inflight_migrations(&mut self) {
+        let now_tick = self.migrations.tick();
+        let inflight: Vec<crate::migration::ActiveMigration> = self.migrations.in_flight().to_vec();
+        // The engine's copy of the tuning is authoritative (the cluster
+        // config only seeds it at construction).
+        let budget = self.migrations.config().cutover_lag_budget;
+        let max_catchup = self.migrations.config().max_catchup_ticks;
+        for m in inflight {
+            let req = m.req;
+            let Some(group) = self.groups.get_mut(&req.partition) else {
+                self.migrations.note_aborted(req, "partition dropped");
+                continue;
+            };
+            if let Err(e) = group.pump_follower(req.to) {
+                self.migrations
+                    .note_aborted(req, format!("catch-up pump failed: {e}"));
+                self.abort_staged_destination(req);
+                continue;
+            }
+            let lag = match group.replica_lag(req.to) {
+                Ok(lag) => lag,
+                Err(e) => {
+                    self.migrations
+                        .note_aborted(req, format!("lag unobservable: {e}"));
+                    self.abort_staged_destination(req);
+                    continue;
+                }
+            };
+            // Never cut over in the joining tick: back-pressure must be
+            // observable, and the destination gets one pump cycle to settle.
+            if now_tick <= m.joined_at_tick {
+                continue;
+            }
+            if lag > budget {
+                if max_catchup > 0 && now_tick.saturating_sub(m.joined_at_tick) > max_catchup {
+                    self.migrations
+                        .note_aborted(req, format!("catch-up stuck at lag {lag}"));
+                    self.abort_staged_destination(req);
+                }
+                continue;
+            }
+            match self.cut_over(req, m.bytes_copied) {
+                Ok(was_leader) => self.migrations.note_completed(req, lag, was_leader),
+                Err(e) => {
+                    self.migrations
+                        .note_aborted(req, format!("cut-over failed: {e}"));
+                    self.abort_staged_destination(req);
+                }
+            }
+        }
+    }
+
+    /// The atomic cut-over: drain the destination to lag 0, hand leadership
+    /// over if the source led, retire the source member (epoch bump), and
+    /// switch the MetaServer's routing + replica set + health view together.
+    /// Returns whether the moving replica led the group.
+    fn cut_over(
+        &mut self,
+        req: MigrationRequest,
+        bytes_copied: u64,
+    ) -> abase_replication::Result<bool> {
+        let group = self
+            .groups
+            .get_mut(&req.partition)
+            .ok_or(ReplError::NoLeader)?;
+        let was_leader = group.leader() == Some(req.from);
+        if was_leader {
+            // handover drains `to` to the leader's exact LSN before any role
+            // changes; a failure leaves every role as it was.
+            group.handover(req.to)?;
+        } else {
+            // Final drain for a follower move: the same bounded drain the
+            // leadership handover uses internally.
+            group.drain_to_leader(req.to)?;
+        }
+        let source_dir = group.remove_member(req.from)?;
+        let dest_lsn = group.acked_lsn(req.to)?;
+        // The registry role comes from the group's *current* leadership, not
+        // from `was_leader`: an unrelated failover during catch-up may have
+        // promoted the (most-caught-up) staged destination already.
+        let dest_role = if group.leader() == Some(req.to) {
+            Role::Leader
+        } else {
+            Role::Follower
+        };
+        // Source teardown: the bytes moved; reclaim the disk. The replica's
+        // RU ledger moves with it — deleting it would make the (hot) replica
+        // look freshly cold at the destination and invite a second move —
+        // but the copy-out RU this migration charged the source stays out of
+        // the transfer: the destination already paid its own copy-in, and
+        // carrying both sides would bias Algorithm 2 against the new home.
+        std::fs::remove_dir_all(&source_dir).ok();
+        self.meta
+            .complete_migration(req.partition, req.from, req.to, dest_lsn);
+        let copy_ru = self.ru.write_ru(bytes_copied as usize, 1);
+        let ledger = self
+            .nodes
+            .get_mut(&req.from)
+            .map(|node| {
+                let mut ledger = node.take_replica_ru(req.partition);
+                ledger.read_ru = (ledger.read_ru - copy_ru).max(0.0);
+                node.drop_replica(req.partition);
+                ledger
+            })
+            .unwrap_or_default();
+        if let Some(node) = self.nodes.get_mut(&req.to) {
+            node.host_replica(req.partition, dest_role);
+            node.absorb_replica_ru(req.partition, ledger);
+        }
+        self.sync_replica_state(req.partition);
+        Ok(was_leader)
+    }
+
+    /// Tear a staged (joined but not cut-over) destination back out of the
+    /// group and the meta view after an abort — the source replica still
+    /// serves, so the move simply never happened. Exception: if an unrelated
+    /// failover already *promoted* the staged destination (it was the
+    /// most-caught-up candidate), the group depends on it — the migration is
+    /// abandoned as a migration but the destination stays a full member with
+    /// its leader role intact.
+    fn abort_staged_destination(&mut self, req: MigrationRequest) {
+        if let Some(group) = self.groups.get_mut(&req.partition) {
+            if group.leader() == Some(req.to) {
+                self.sync_replica_state(req.partition);
+                return;
+            }
+            if group.members().contains(&req.to) {
+                if let Ok(dir) = group.remove_member(req.to) {
+                    std::fs::remove_dir_all(dir).ok();
+                }
+            }
+        }
+        self.meta.abort_migration(req.partition, req.to);
+        if let Some(node) = self.nodes.get_mut(&req.to) {
+            node.drop_replica(req.partition);
+        }
+        self.sync_replica_state(req.partition);
+    }
+
     /// Kill a DataNode: fail its replicas, let the meta server plan
     /// promotions and reconstruction, execute the promotions, and re-seed the
     /// lost replicas **in parallel** from the planned sources.
     pub fn kill_node(&mut self, failed: NodeId) -> abase_replication::Result<FailoverOutcome> {
         self.dead_nodes.insert(failed);
+        // 0. Cancel every pending migration touching the dead node. An
+        //    in-flight move's staged destination is torn back out of the
+        //    group (the source replica — or, if the source died, the normal
+        //    failover re-seed below — keeps the partition at full strength),
+        //    so the failure plan runs against the original membership.
+        for (req, joined) in self.migrations.pending_involving(failed) {
+            let side = if req.to == failed {
+                "destination died"
+            } else {
+                "source died"
+            };
+            self.migrations.note_aborted(req, side);
+            if joined {
+                self.abort_staged_destination(req);
+            }
+        }
         // 1. The node's replicas become unreachable.
         for group in self.groups.values_mut() {
             if group.members().contains(&failed) {
@@ -715,6 +1066,22 @@ impl ReplicatedCluster {
         } else {
             Some(reconstruct_parallel(tasks, self.config.recovery_bandwidth)?)
         };
+        // Re-seed copies consume the same disks migrations do: charge the
+        // copy RU to both ends of every reconstruction (per-task bytes
+        // approximated as an even share of the run), so a pool view built
+        // after a failover sees the recovery traffic in the loss function.
+        if let Some(rec) = &reconstruction {
+            let per_task = rec.bytes_copied / rec.replicas.max(1) as u64;
+            let copy_ru = self.ru.write_ru(per_task as usize, 1);
+            for assignment in &plan.reconstructions {
+                if let Some(node) = self.nodes.get_mut(&assignment.source) {
+                    node.record_copy_out(assignment.partition, copy_ru);
+                }
+                if let Some(node) = self.nodes.get_mut(&assignment.dest) {
+                    node.record_copy_in(assignment.partition, copy_ru);
+                }
+            }
+        }
         // 5. Rebuilt replicas join their groups and start tailing.
         for assignment in &plan.reconstructions {
             let dir = abase_replication::group::replica_dir(
@@ -981,6 +1348,99 @@ mod tests {
                 r.node
             );
         }
+    }
+
+    #[test]
+    fn live_migration_moves_a_follower_replica() {
+        let (_d, mut cluster) = small_cluster("migrate-follower");
+        cluster.create_partition(1, 0).unwrap();
+        for i in 0..20 {
+            cluster
+                .write(0, format!("k{i}").as_bytes(), b"v", 0)
+                .unwrap();
+        }
+        let set = cluster.meta().replica_set(0).unwrap().clone();
+        let from = set.followers[0];
+        let to = (0..4u32).find(|n| !set.contains(*n)).unwrap();
+        cluster.enqueue_migration(0, from, to).unwrap();
+        // Tick 1 stages (copy + join); tick 2 cuts over.
+        cluster.tick().unwrap();
+        assert!(cluster.is_node_migrating(from));
+        assert!(cluster.is_node_migrating(to));
+        cluster.tick().unwrap();
+        assert!(cluster.migrations().idle());
+        assert_eq!(cluster.migrations().completed().len(), 1);
+        let report = &cluster.migrations().completed()[0];
+        assert!(report.bytes_copied > 0);
+        assert!(!report.was_leader);
+        // Placement switched everywhere together: meta set, group members,
+        // node registries, health view.
+        let set = cluster.meta().replica_set(0).unwrap();
+        assert!(!set.contains(from));
+        assert!(set.contains(to));
+        assert_eq!(
+            cluster.group(0).unwrap().members().len(),
+            3,
+            "group not back to full strength"
+        );
+        assert!(!cluster.group(0).unwrap().members().contains(&from));
+        assert!(cluster.node(from).unwrap().replica_role(0).is_none());
+        assert_eq!(
+            cluster.node(to).unwrap().replica_role(0),
+            Some(Role::Follower)
+        );
+        assert!(!cluster.meta().read_candidates(0, None).contains(&from));
+        // The moved bytes are really at the destination, and copy RU was
+        // charged to both ends.
+        let db = cluster.group(0).unwrap().db(to).unwrap();
+        for i in 0..20 {
+            assert!(db
+                .get(format!("k{i}").as_bytes(), 0)
+                .unwrap()
+                .value
+                .is_some());
+        }
+        assert!(cluster.node(from).unwrap().migration_copy_ru() > 0.0);
+        assert!(cluster.node(to).unwrap().migration_copy_ru() > 0.0);
+        // Writes and reads keep flowing against the new placement.
+        cluster.write(0, b"post-move", b"w", 0).unwrap();
+        let r = cluster
+            .read(0, b"post-move", ReadConsistency::Leader, 0)
+            .unwrap();
+        assert!(r.value.is_some());
+    }
+
+    #[test]
+    fn live_migration_of_a_leader_hands_over_leadership() {
+        let (_d, mut cluster) = small_cluster("migrate-leader");
+        cluster.create_partition(1, 0).unwrap();
+        for i in 0..10 {
+            cluster
+                .write(0, format!("k{i}").as_bytes(), b"v", 0)
+                .unwrap();
+        }
+        let set = cluster.meta().replica_set(0).unwrap().clone();
+        let from = set.leader;
+        let to = (0..4u32).find(|n| !set.contains(*n)).unwrap();
+        cluster.enqueue_migration(0, from, to).unwrap();
+        cluster.tick().unwrap();
+        cluster.tick().unwrap();
+        assert_eq!(cluster.migrations().completed().len(), 1);
+        assert!(cluster.migrations().completed()[0].was_leader);
+        assert_eq!(cluster.meta().route(0), Some(to));
+        assert_eq!(cluster.group(0).unwrap().leader(), Some(to));
+        assert_eq!(
+            cluster.node(to).unwrap().replica_role(0),
+            Some(Role::Leader)
+        );
+        // No acked write lost across the handover, and writes continue.
+        for i in 0..10 {
+            let r = cluster
+                .read(0, format!("k{i}").as_bytes(), ReadConsistency::Leader, 0)
+                .unwrap();
+            assert!(r.value.is_some(), "k{i} lost across leader migration");
+        }
+        cluster.write(0, b"after", b"w", 0).unwrap();
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   over caught-up followers, `ReadYourWrites` reads pick a fenced replica,
 //!   `Leader` reads pin to the leader — decided from the meta server's
 //!   per-replica health/LSN view.
+//! * [`migration`] — the live-migration engine: Algorithm-2 `Migration`
+//!   plans executed as staged checkpoint copies (throttled by the §3.3
+//!   recovery-bandwidth model) + binlog catch-up + epoch-guarded cut-overs,
+//!   with one in-flight move per node.
 //! * [`oncall`] — the Figure 8b oncall model (reactive vs. predictive scaling).
 //! * [`placement`] — the §6.4 single-tenant vs multi-tenant utilization
 //!   comparison and the §3.3 robustness arithmetic.
@@ -38,6 +42,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod meta;
+pub mod migration;
 pub mod node;
 pub mod oncall;
 pub mod placement;
@@ -52,6 +57,9 @@ pub use cluster::{
 };
 pub use engine::TableEngine;
 pub use meta::{FailoverPlan, MetaServer, RecoveryModel, ReplicaHealth, ReplicaSet};
+pub use migration::{
+    MigrationConfig, MigrationEngine, MigrationError, MigrationReport, MigrationRequest,
+};
 pub use node::{DataNodeConfig, DataNodeSim, ReplicaRuSplit};
 pub use proxy::{ProxyPlane, ProxyPlaneConfig, ProxyReadSplit};
 pub use router::{ReadRouter, ReadRouterConfig, RouteDecision, RouterStats};

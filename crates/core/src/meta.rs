@@ -171,9 +171,101 @@ impl MetaServer {
             .unwrap_or(&[])
     }
 
-    /// Move a partition to another node (rescheduling/migration).
+    /// Move a partition's routing to another node (the instant routing flip;
+    /// live migrations go through [`MetaServer::begin_migration`] /
+    /// [`MetaServer::complete_migration`] instead). The departed node's
+    /// replica-health entry moves with the routing — `read_candidates` must
+    /// never offer a replica the flip just routed away from — and a tracked
+    /// replica set follows the flip.
     pub fn move_partition(&mut self, partition: PartitionId, to: NodeId) {
-        self.routing.insert(partition, to);
+        let from = self.routing.insert(partition, to);
+        let Some(from) = from.filter(|&f| f != to) else {
+            return;
+        };
+        // Purge the source's health; the destination keeps its own report if
+        // it was already a member, otherwise it inherits the departed one
+        // (the flip asserts the data is there now).
+        if let Some(health) = self.replica_health.remove(&(partition, from)) {
+            self.replica_health.entry((partition, to)).or_insert(health);
+        }
+        if let Some(set) = self.replica_sets.get_mut(&partition) {
+            if set.leader == from {
+                set.leader = to;
+            }
+            for f in &mut set.followers {
+                if *f == from {
+                    *f = to;
+                }
+            }
+            // `to` may have been a member already: it must appear exactly
+            // once, and never both as leader and follower.
+            let leader = set.leader;
+            let mut seen = Vec::with_capacity(set.followers.len());
+            set.followers.retain(|&n| {
+                let keep = n != leader && !seen.contains(&n);
+                seen.push(n);
+                keep
+            });
+        }
+    }
+
+    /// Start a live migration: the destination joins the partition's replica
+    /// set as a staging follower, so health reports for it land in the
+    /// routing view (read routing still gates it on reported lag/fences
+    /// until it catches up).
+    pub fn begin_migration(&mut self, partition: PartitionId, dest: NodeId) {
+        if let Some(set) = self.replica_sets.get_mut(&partition) {
+            if !set.contains(dest) {
+                set.followers.push(dest);
+            }
+        }
+    }
+
+    /// Atomic cut-over of a live migration: the source leaves the replica
+    /// set (taking the leadership slot with it when it led), routing follows
+    /// the set's leader, the source's replica-health entry is purged — so
+    /// `read_candidates` can never again offer the departed replica — and
+    /// the destination's health is re-seeded at its applied LSN.
+    pub fn complete_migration(
+        &mut self,
+        partition: PartitionId,
+        from: NodeId,
+        to: NodeId,
+        dest_lsn: u64,
+    ) {
+        if let Some(set) = self.replica_sets.get_mut(&partition) {
+            if set.leader == from {
+                set.leader = to;
+                set.followers.retain(|&n| n != to && n != from);
+            } else {
+                set.followers.retain(|&n| n != from);
+                if !set.contains(to) {
+                    set.followers.push(to);
+                }
+            }
+            self.routing.insert(partition, set.leader);
+        } else {
+            self.routing.insert(partition, to);
+        }
+        self.replica_health.remove(&(partition, from));
+        self.replica_health.insert(
+            (partition, to),
+            ReplicaHealth {
+                alive: true,
+                acked_lsn: dest_lsn,
+            },
+        );
+    }
+
+    /// Abort a live migration: the staging destination leaves the replica
+    /// set and its health entry is purged (the source never moved).
+    pub fn abort_migration(&mut self, partition: PartitionId, dest: NodeId) {
+        if let Some(set) = self.replica_sets.get_mut(&partition) {
+            if set.leader != dest {
+                set.followers.retain(|&n| n != dest);
+            }
+        }
+        self.replica_health.remove(&(partition, dest));
     }
 
     /// Record a replica's reported health/LSN (the group heartbeat path).
@@ -460,6 +552,123 @@ mod tests {
             assert!(!set.contains(0), "node 0 still in set of {p}: {set:?}");
             assert_eq!(set.members().len(), 3, "set of {p} not refilled");
         }
+    }
+
+    #[test]
+    fn move_partition_purges_source_health_and_follows_the_set() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            100,
+            ReplicaSet {
+                leader: 5,
+                followers: vec![6, 7],
+            },
+        );
+        for n in [5u32, 6, 7] {
+            m.report_replica_health(100, n, true, 40);
+        }
+        m.move_partition(100, 9);
+        assert_eq!(m.route(100), Some(9));
+        // The departed leader's health entry moved with the flip: candidates
+        // never offer node 5 again, and node 9 inherits the report.
+        assert!(m.replica_health(100, 5).is_none());
+        assert_eq!(
+            m.replica_health(100, 9),
+            Some(ReplicaHealth {
+                alive: true,
+                acked_lsn: 40
+            })
+        );
+        let candidates = m.read_candidates(100, None);
+        assert!(
+            !candidates.contains(&5),
+            "departed replica offered: {candidates:?}"
+        );
+        assert_eq!(m.replica_set(100).unwrap().leader, 9);
+    }
+
+    #[test]
+    fn move_partition_to_an_existing_follower_never_duplicates_it() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            100,
+            ReplicaSet {
+                leader: 5,
+                followers: vec![6, 7],
+            },
+        );
+        m.report_replica_health(100, 5, true, 40);
+        m.report_replica_health(100, 6, true, 12);
+        // Flip onto follower 6: it becomes the leader, appears exactly once,
+        // and keeps its *own* health report (it has not applied LSN 40).
+        m.move_partition(100, 6);
+        let set = m.replica_set(100).unwrap();
+        assert_eq!(set.leader, 6);
+        assert_eq!(set.members(), vec![6, 7]);
+        assert_eq!(
+            m.replica_health(100, 6),
+            Some(ReplicaHealth {
+                alive: true,
+                acked_lsn: 12
+            }),
+            "follower's own report clobbered by the departed leader's"
+        );
+        assert!(m.replica_health(100, 5).is_none());
+    }
+
+    #[test]
+    fn migration_cutover_swaps_membership_health_and_routing() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            7,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![1, 2],
+            },
+        );
+        for n in [0u32, 1, 2] {
+            m.report_replica_health(7, n, true, 10);
+        }
+        // Stage node 3, report it catching up, then cut over follower 2 → 3.
+        m.begin_migration(7, 3);
+        assert!(m.replica_set(7).unwrap().contains(3));
+        m.report_replica_health(7, 3, true, 10);
+        m.complete_migration(7, 2, 3, 10);
+        let set = m.replica_set(7).unwrap();
+        assert!(!set.contains(2), "source lingers in the set: {set:?}");
+        assert!(set.contains(3));
+        assert_eq!(set.members().len(), 3);
+        assert!(m.replica_health(7, 2).is_none(), "stale source health");
+        assert!(!m.read_candidates(7, None).contains(&2));
+        assert_eq!(m.route(7), Some(0), "leader must not move");
+        // Leader migration: routing follows the destination.
+        m.begin_migration(7, 4);
+        m.report_replica_health(7, 4, true, 10);
+        m.complete_migration(7, 0, 4, 10);
+        assert_eq!(m.route(7), Some(4));
+        assert!(m.replica_health(7, 0).is_none());
+        assert_eq!(m.replica_set(7).unwrap().members().len(), 3);
+    }
+
+    #[test]
+    fn migration_abort_removes_the_staging_destination() {
+        let mut m = MetaServer::new(secs(1));
+        m.assign_replica_group(
+            1,
+            7,
+            ReplicaSet {
+                leader: 0,
+                followers: vec![1, 2],
+            },
+        );
+        m.begin_migration(7, 3);
+        m.report_replica_health(7, 3, true, 5);
+        m.abort_migration(7, 3);
+        assert!(!m.replica_set(7).unwrap().contains(3));
+        assert!(m.replica_health(7, 3).is_none());
     }
 
     #[test]

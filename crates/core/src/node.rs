@@ -129,6 +129,8 @@ pub struct DataNodeSim {
     replica_ru: HashMap<PartitionId, ReplicaRuSplit>,
     /// RU owed to rejection processing, debited from the next tick's budget.
     rejection_overhead_ru: f64,
+    /// RU spent streaming/ingesting migration and reconstruction copies.
+    migration_copy_ru: f64,
     stats: HashMap<TenantId, TenantTickStats>,
 }
 
@@ -146,6 +148,7 @@ impl DataNodeSim {
             hosted_replicas: HashMap::new(),
             replica_ru: HashMap::new(),
             rejection_overhead_ru: 0.0,
+            migration_copy_ru: 0.0,
             stats: HashMap::new(),
         }
     }
@@ -174,6 +177,46 @@ impl DataNodeSim {
     /// replica of a group pays the write once — §4.1's write amplification).
     pub fn record_replica_write(&mut self, partition: PartitionId, ru: f64) {
         self.replica_ru.entry(partition).or_default().write_ru += ru;
+    }
+
+    /// Charge the outbound side of a migration/reconstruction checkpoint
+    /// copy: the source node streams the bytes off its disk, so the cost
+    /// lands as read RU against its replica of `partition` — which is how
+    /// copy traffic becomes visible to Algorithm 2's loss function.
+    pub fn record_copy_out(&mut self, partition: PartitionId, ru: f64) {
+        self.replica_ru.entry(partition).or_default().read_ru += ru;
+        self.migration_copy_ru += ru;
+    }
+
+    /// Charge the inbound side of a migration/reconstruction checkpoint
+    /// copy: the destination node ingests the bytes, so the cost lands as
+    /// write RU against its (new) replica of `partition`.
+    pub fn record_copy_in(&mut self, partition: PartitionId, ru: f64) {
+        self.replica_ru.entry(partition).or_default().write_ru += ru;
+        self.migration_copy_ru += ru;
+    }
+
+    /// Total RU this node has spent on migration/reconstruction copy traffic
+    /// (both directions) — the share of the §3.3 bandwidth model that data
+    /// movement, rather than tenant traffic, consumed.
+    pub fn migration_copy_ru(&self) -> f64 {
+        self.migration_copy_ru
+    }
+
+    /// Remove and return the RU ledger accumulated against this node's
+    /// replica of `partition`. A migration's cut-over moves the ledger with
+    /// the replica — the load history follows the data to the destination,
+    /// so the moved replica never looks freshly cold to Algorithm 2.
+    pub fn take_replica_ru(&mut self, partition: PartitionId) -> ReplicaRuSplit {
+        self.replica_ru.remove(&partition).unwrap_or_default()
+    }
+
+    /// Fold a migrated replica's RU ledger into this node's entry for
+    /// `partition` (the receiving side of [`DataNodeSim::take_replica_ru`]).
+    pub fn absorb_replica_ru(&mut self, partition: PartitionId, split: ReplicaRuSplit) {
+        let entry = self.replica_ru.entry(partition).or_default();
+        entry.read_ru += split.read_ru;
+        entry.write_ru += split.write_ru;
     }
 
     /// The split read/write RU charged against this node's replica of

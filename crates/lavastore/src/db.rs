@@ -340,6 +340,15 @@ impl Db {
         self.inner.read().wal_id
     }
 
+    /// Current append position of the live WAL, as a `(segment, byte
+    /// offset)` pair — where a tail reader that has already applied every
+    /// record should resume (planned leadership handover seeks caught-up
+    /// followers here instead of re-polling the full retained log).
+    pub fn wal_position(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.wal_id, inner.wal.appended_bytes())
+    }
+
     /// The directory this database lives in (replication tails its WALs).
     pub fn dir(&self) -> &Path {
         &self.dir

@@ -11,6 +11,7 @@
 //! any follower ever acked below its LSN.
 
 use crate::binlog::{Binlog, Poll};
+use crate::failover::Throttle;
 use crate::{Error, Lsn, Result};
 use abase_lavastore::{CheckpointInfo, Db, DbConfig, Error as StorageError, ReadResult};
 use abase_util::clock::SimTime;
@@ -173,13 +174,28 @@ pub struct AdvanceStatus {
     pub needs_resync: Vec<ReplicaId>,
 }
 
-/// A prepared full resynchronization whose (long) checkpoint copy runs
-/// without borrowing the group: [`ReplicaGroup::begin_resync`] hands one out,
-/// [`ResyncTicket::copy`] streams the leader checkpoint into a staging
-/// directory, and [`ReplicaGroup::complete_resync`] atomically installs it.
-/// Callers that guard the group with a mutex (the RESP server) drop the lock
-/// around `copy`, so `WAIT`/commit on other keys are not blocked for the
-/// duration of the transfer.
+/// What a staged checkpoint copy will become once installed: a refreshed
+/// existing follower (gap resync) or a brand-new group member (migration /
+/// reconstruction staging). Both run through the same [`ResyncTicket`]
+/// machinery — one placement-change path, two install targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageTarget {
+    /// Replace an existing follower's divergent/gapped state.
+    Resync,
+    /// Install a new follower that was not previously a member.
+    Join,
+}
+
+/// A prepared, staged replica-placement change whose (long) checkpoint copy
+/// runs without borrowing the group: [`ReplicaGroup::begin_resync`] (refresh
+/// an existing follower) or [`ReplicaGroup::begin_join`] (stage a new member
+/// — the migration/reconstruction path) hands one out, [`ResyncTicket::copy`]
+/// / [`ResyncTicket::copy_throttled`] streams the leader checkpoint into a
+/// staging directory, and [`ReplicaGroup::complete_resync`] /
+/// [`ReplicaGroup::complete_join`] atomically installs it. Callers that guard
+/// the group with a mutex (the RESP server) drop the lock around `copy`, so
+/// `WAIT`/commit on other keys are not blocked for the duration of the
+/// transfer.
 #[derive(Debug)]
 pub struct ResyncTicket {
     follower: ReplicaId,
@@ -187,10 +203,14 @@ pub struct ResyncTicket {
     leader: Arc<Db>,
     leader_dir: PathBuf,
     staging: PathBuf,
+    /// Directory the staged copy is renamed into on install.
+    install_dir: PathBuf,
+    target: StageTarget,
 }
 
 impl ResyncTicket {
-    /// The follower this resync is for.
+    /// The replica this staged copy is for (an existing follower for a
+    /// resync, the joining member's id for a join).
     pub fn follower(&self) -> ReplicaId {
         self.follower
     }
@@ -200,8 +220,26 @@ impl ResyncTicket {
     /// error) leaves the follower exactly as it was, still serving its
     /// (valid prefix) history.
     pub fn copy(&self) -> Result<CheckpointInfo> {
+        self.copy_with(&mut |_| {})
+    }
+
+    /// [`ResyncTicket::copy`] under a per-disk bandwidth [`Throttle`] — the
+    /// §3.3 recovery-bandwidth model: migration and reconstruction copies
+    /// charge the same modeled disk budget as failover re-seeding, so live
+    /// moves never consume more I/O than the recovery plane is allowed to.
+    pub fn copy_throttled(&self, throttle: Option<&Throttle>) -> Result<CheckpointInfo> {
+        self.copy_with(&mut |chunk| {
+            if let Some(t) = throttle {
+                t.on_chunk(chunk);
+            }
+        })
+    }
+
+    /// Stream a leader checkpoint into the staging directory, reporting each
+    /// copied chunk to `on_chunk` (bandwidth throttling, RU accounting).
+    pub fn copy_with(&self, on_chunk: &mut dyn FnMut(usize)) -> Result<CheckpointInfo> {
         std::fs::remove_dir_all(&self.staging).ok();
-        match self.leader.checkpoint(&self.staging) {
+        match self.leader.checkpoint_with(&self.staging, on_chunk) {
             Ok(info) => Ok(info),
             Err(e) => {
                 std::fs::remove_dir_all(&self.staging).ok();
@@ -839,6 +877,32 @@ impl ReplicaGroup {
     /// ticket owns a staging directory next to the follower's; nothing about
     /// the follower changes until [`ReplicaGroup::complete_resync`].
     pub fn begin_resync(&mut self, id: ReplicaId) -> Result<ResyncTicket> {
+        let dir = self.find(id)?.dir.clone();
+        self.stage_ticket(id, dir, StageTarget::Resync)
+    }
+
+    /// Prepare staging a **new** member `new_id` (its replica directory will
+    /// live under `base_dir`, laid out by [`replica_dir`]) from a leader
+    /// checkpoint — the entry point live partition migration and replica
+    /// re-seeding share with the gap-resync path: same ticket, same staged
+    /// copy, same epoch guard. Nothing about the group changes until
+    /// [`ReplicaGroup::complete_join`].
+    pub fn begin_join(&mut self, new_id: ReplicaId, base_dir: &Path) -> Result<ResyncTicket> {
+        if self.find(new_id).is_ok() {
+            return Err(Error::AlreadyMember(new_id));
+        }
+        let dir = replica_dir(base_dir, self.partition, new_id);
+        self.stage_ticket(new_id, dir, StageTarget::Join)
+    }
+
+    /// The shared staging entry: a ticket copying the current leader's
+    /// checkpoint toward `install_dir`, valid for the current epoch only.
+    fn stage_ticket(
+        &mut self,
+        id: ReplicaId,
+        install_dir: PathBuf,
+        target: StageTarget,
+    ) -> Result<ResyncTicket> {
         let leader = self.leader_db()?;
         let leader_dir = {
             let l = self
@@ -848,12 +912,11 @@ impl ReplicaGroup {
                 .ok_or(Error::NoLeader)?;
             l.dir.clone()
         };
-        let dir = self.find(id)?.dir.clone();
         // Unique per ticket: two connections may race resyncs for the same
         // follower with their group lock dropped, and sharing one staging
         // path would let one copy clobber the other mid-stream.
         static STAGING_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let staging = dir.with_extension(format!(
+        let staging = install_dir.with_extension(format!(
             "resync-{}",
             STAGING_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
@@ -863,6 +926,8 @@ impl ReplicaGroup {
             leader,
             leader_dir,
             staging,
+            install_dir,
+            target,
         })
     }
 
@@ -872,7 +937,7 @@ impl ReplicaGroup {
     /// leadership or membership changed while the copy ran) — the caller
     /// simply retries against the new leader.
     pub fn complete_resync(&mut self, ticket: ResyncTicket, info: CheckpointInfo) -> Result<()> {
-        if ticket.epoch != self.epoch {
+        if ticket.epoch != self.epoch || ticket.target != StageTarget::Resync {
             std::fs::remove_dir_all(&ticket.staging).ok();
             return Err(Error::ResyncSuperseded);
         }
@@ -899,6 +964,145 @@ impl ReplicaGroup {
         r.needs_full_resync = false;
         r.resyncs += 1;
         Ok(())
+    }
+
+    /// Atomically install a staged **join**: swap the staged checkpoint into
+    /// the new member's directory, open it, and add it to the group as a
+    /// follower tailing the leader from where the checkpoint ends. Refuses a
+    /// ticket from an older epoch — leadership or membership changed while
+    /// the copy ran, so the staged bytes may descend from a deposed leader.
+    /// Membership changes, so the epoch bumps (any other in-flight ticket is
+    /// thereby superseded).
+    pub fn complete_join(&mut self, ticket: ResyncTicket, info: CheckpointInfo) -> Result<()> {
+        if ticket.epoch != self.epoch || ticket.target != StageTarget::Join {
+            std::fs::remove_dir_all(&ticket.staging).ok();
+            return Err(Error::ResyncSuperseded);
+        }
+        if self.find(ticket.follower).is_ok() {
+            std::fs::remove_dir_all(&ticket.staging).ok();
+            return Err(Error::AlreadyMember(ticket.follower));
+        }
+        let dir = ticket.install_dir.clone();
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::rename(&ticket.staging, &dir).map_err(StorageError::Io)?;
+        let db = match Db::open(&dir, self.config.db) {
+            Ok(db) => Arc::new(db),
+            Err(e) => {
+                // The copy was renamed into place but never became a member:
+                // reclaim the directory so a failed join leaves no orphan.
+                std::fs::remove_dir_all(&dir).ok();
+                return Err(e.into());
+            }
+        };
+        let mut binlog = Binlog::attach(&ticket.leader_dir);
+        binlog.seek(info.wal_segment, info.wal_offset);
+        self.replicas.push(Replica {
+            id: ticket.follower,
+            dir,
+            db,
+            role: Role::Follower,
+            alive: true,
+            binlog: Some(binlog),
+            needs_full_resync: false,
+            resyncs: 0,
+        });
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Remove a member from the group (migration source teardown, or
+    /// discarding an aborted staged join). The member may be dead or alive,
+    /// but never the live leader — transfer leadership with
+    /// [`ReplicaGroup::handover`] first. Returns the removed replica's data
+    /// directory so the caller can reclaim the disk. Membership changes, so
+    /// the epoch bumps.
+    pub fn remove_member(&mut self, id: ReplicaId) -> Result<PathBuf> {
+        let idx = self.find_index(id)?;
+        if self.replicas[idx].role == Role::Leader && self.replicas[idx].alive {
+            return Err(Error::MemberIsLeader(id));
+        }
+        if self.replicas.len() <= 1 {
+            return Err(Error::NoPromotionCandidate);
+        }
+        let removed = self.replicas.remove(idx);
+        self.epoch += 1;
+        Ok(removed.dir)
+    }
+
+    /// Planned leadership transfer (the migration cut-over path when the
+    /// moving replica leads): drain `to` to the leader's exact LSN, then
+    /// switch roles — `to` leads, the old leader follows. Unlike crash
+    /// [`ReplicaGroup::promote`], both sides are alive and byte-identical at
+    /// the handover LSN, so no history diverges and nobody needs a resync.
+    /// Fails with [`Error::StaleReplica`] if `to` cannot be drained to the
+    /// leader's LSN (it keeps its old role and nothing changes).
+    pub fn handover(&mut self, to: ReplicaId) -> Result<()> {
+        let old_leader = self.leader().ok_or(Error::NoLeader)?;
+        if to == old_leader {
+            return Ok(());
+        }
+        {
+            let r = self.find(to)?;
+            if !r.alive || r.role != Role::Follower || r.needs_full_resync {
+                return Err(Error::ReplicaUnavailable(to));
+            }
+        }
+        // Final drain: no new writes can land mid-handover (the caller owns
+        // the group), so a bounded pump loop converges or the target is
+        // genuinely stuck.
+        self.drain_to_leader(to)?;
+        let need = self.leader_lsn()?;
+        let new_leader_dir = self.find(to)?.dir.clone();
+        // Followers that already hold the full history (the drained old
+        // leader, any caught-up bystander) seek straight to the new leader's
+        // live append position; laggards re-attach from the retained log and
+        // dedup forward (the same catch-up path a crash promotion uses).
+        let wal_position = self.find(to)?.db.wal_position();
+        for r in &mut self.replicas {
+            if r.id == to {
+                r.role = Role::Leader;
+                r.binlog = None;
+            } else {
+                // The old leader holds exactly the new leader's history (the
+                // drain above made the LSNs equal before any role changed),
+                // so it re-attaches as a plain follower — no divergent tail,
+                // no forced resync.
+                r.role = Role::Follower;
+                let mut binlog = Binlog::attach(&new_leader_dir);
+                // A divergent replica's raw LSN lies; it resyncs regardless.
+                if !r.needs_full_resync && r.db.last_seq() >= need {
+                    binlog.seek(wal_position.0, wal_position.1);
+                }
+                r.binlog = Some(binlog);
+            }
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Drain `id` to the live leader's exact LSN: flush the leader's log and
+    /// pump the follower in a bounded loop (the caller owns the group, so no
+    /// new writes land mid-drain). Both cut-over paths — the leadership
+    /// [`ReplicaGroup::handover`] and a follower move's final catch-up —
+    /// share this one drain. [`Error::StaleReplica`] if it cannot converge.
+    pub fn drain_to_leader(&mut self, id: ReplicaId) -> Result<()> {
+        let need = self.leader_lsn()?;
+        self.leader_db()?.flush_wal()?;
+        for _ in 0..8 {
+            if self.acked_lsn(id)? >= need {
+                return Ok(());
+            }
+            self.pump_follower(id)?;
+        }
+        let lsn = self.acked_lsn(id)?;
+        if lsn >= need {
+            return Ok(());
+        }
+        Err(Error::StaleReplica {
+            replica: id,
+            lsn,
+            need,
+        })
     }
 
     /// Rebuild a follower from a leader checkpoint (it fell off the log).
@@ -1402,6 +1606,95 @@ mod tests {
             assert_ne!(r.replica, 10, "divergent replica served a read");
             assert!(r.result.value.is_none(), "divergent tail leaked to a read");
         }
+    }
+
+    #[test]
+    fn staged_join_adds_a_caught_up_member() {
+        let (dir, mut g) = group("join", WriteConcern::Quorum);
+        for i in 0..10 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        // Stage node 40 through the same ticket API gap resyncs use.
+        let ticket = g.begin_join(40, dir.path()).unwrap();
+        assert_eq!(ticket.follower(), 40);
+        let info = ticket.copy_throttled(None).unwrap();
+        assert!(info.bytes_copied > 0);
+        g.complete_join(ticket, info).unwrap();
+        assert_eq!(g.members(), vec![10, 20, 30, 40]);
+        // Writes after the join ship to the newcomer too; quorum over 4 = 3.
+        assert_eq!(g.commit_need(), 3);
+        let lsn = g.put(b"after-join", b"w", None, 0).unwrap();
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(40).unwrap(), lsn);
+        assert!(g.db(40).unwrap().get(b"k0", 0).unwrap().value.is_some());
+        // Double-join of the same id is refused.
+        match g.begin_join(40, dir.path()) {
+            Err(Error::AlreadyMember(40)) => {}
+            other => panic!("expected AlreadyMember, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_join_ticket_is_refused_like_a_stale_resync() {
+        let (dir, mut g) = group("join-epoch", WriteConcern::Async);
+        g.put(b"k", b"v", None, 0).unwrap();
+        g.tick().unwrap();
+        let ticket = g.begin_join(40, dir.path()).unwrap();
+        let info = ticket.copy().unwrap();
+        // Leadership changes while the copy was in flight: the shared epoch
+        // guard refuses the install, exactly as for a resync ticket.
+        g.fail_replica(10).unwrap();
+        g.promote().unwrap();
+        match g.complete_join(ticket, info) {
+            Err(Error::ResyncSuperseded) => {}
+            other => panic!("expected ResyncSuperseded, got {other:?}"),
+        }
+        assert_eq!(g.members(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn remove_member_tears_down_a_follower_but_never_the_leader() {
+        let (_d, mut g) = group("remove", WriteConcern::Async);
+        g.put(b"k", b"v", None, 0).unwrap();
+        match g.remove_member(10) {
+            Err(Error::MemberIsLeader(10)) => {}
+            other => panic!("expected MemberIsLeader, got {other:?}"),
+        }
+        let dir = g.remove_member(30).unwrap();
+        assert!(dir.ends_with("p1-r30"));
+        assert_eq!(g.members(), vec![10, 20]);
+        // The group still writes (quorum over 2 = 2) and reads never land on
+        // the departed member.
+        let lsn = g.put(b"after", b"w", None, 0).unwrap();
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(20).unwrap(), lsn);
+        match g.read_at(30, b"k", None, 0) {
+            Err(Error::UnknownReplica(30)) => {}
+            other => panic!("expected UnknownReplica, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handover_transfers_leadership_without_divergence() {
+        let (_d, mut g) = group("handover", WriteConcern::Async);
+        for i in 0..8 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        // Follower 20 lags at handover time: the drain inside handover must
+        // bring it to the leader's exact LSN before roles switch.
+        g.handover(20).unwrap();
+        assert_eq!(g.leader(), Some(20));
+        assert_eq!(g.acked_lsn(20).unwrap(), 8);
+        // The old leader follows the new one — no resync, no divergence.
+        let s10 = g.status().replicas.iter().find(|r| r.id == 10).cloned();
+        let s10 = s10.unwrap();
+        assert_eq!(s10.role, Role::Follower);
+        assert_eq!(s10.resyncs, 0);
+        // Writes flow through the new leader and reach the old one.
+        let lsn = g.put(b"post", b"w", None, 0).unwrap();
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(10).unwrap(), lsn);
+        assert!(g.db(10).unwrap().get(b"post", 0).unwrap().value.is_some());
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub enum Error {
     /// A resync ticket was completed after the group's leadership or
     /// membership changed; the copy is discarded and the caller retries.
     ResyncSuperseded,
+    /// A staged join targeted a replica id that is already a group member.
+    AlreadyMember(u32),
+    /// A membership removal targeted the live leader — hand leadership over
+    /// first (`ReplicaGroup::handover`), then retire the member.
+    MemberIsLeader(u32),
 }
 
 impl std::fmt::Display for Error {
@@ -126,6 +131,12 @@ impl std::fmt::Display for Error {
             }
             Error::ResyncSuperseded => {
                 write!(f, "resync superseded by a leadership/membership change")
+            }
+            Error::AlreadyMember(id) => {
+                write!(f, "replica {id} is already a group member")
+            }
+            Error::MemberIsLeader(id) => {
+                write!(f, "replica {id} leads the group; hand over before removal")
             }
         }
     }

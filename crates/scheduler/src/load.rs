@@ -347,10 +347,17 @@ impl PoolState {
         self.nodes.iter().map(NodeState::ru_util).sum::<f64>() / self.nodes.len() as f64
     }
 
-    /// Clear every node's migration flag (called once per scheduling round).
-    pub fn finish_migrations(&mut self) {
+    /// Mark one migration complete: clear the in-flight flag on exactly the
+    /// two nodes it involved. Flags are set per migration by
+    /// `Rescheduler::reschedule_round` and cleared per migration here — by
+    /// the engine's completion callback in a live cluster, by the modeled
+    /// copy-duration expiry in offline simulations — never wholesale per
+    /// round: a slow move must keep blocking its nodes across rounds.
+    pub fn complete_migration(&mut self, from_node: u32, to_node: u32) {
         for node in &mut self.nodes {
-            node.is_migrating = false;
+            if node.id == from_node || node.id == to_node {
+                node.is_migrating = false;
+            }
         }
     }
 

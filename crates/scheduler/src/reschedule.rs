@@ -189,24 +189,33 @@ impl Rescheduler {
         out
     }
 
-    /// Run rounds (clearing migration flags between rounds, as the online
-    /// system does every 10 minutes) until no migration fires or `max_rounds`
-    /// is hit. Returns all migrations.
+    /// Run rounds until no migration fires or `max_rounds` is hit, modeling
+    /// the offline regime where every move started in round N has finished
+    /// before round N+1 begins: each in-flight migration is completed
+    /// *individually* (its two nodes unblocked) rather than by a wholesale
+    /// flag sweep, so the completion semantics match the live engine's
+    /// per-migration callbacks. Returns all migrations.
     pub fn rebalance_to_convergence(
         &self,
         pool: &mut PoolState,
         max_rounds: usize,
     ) -> Vec<Migration> {
         let mut all = Vec::new();
+        let mut inflight: Vec<Migration> = Vec::new();
         for _ in 0..max_rounds {
-            pool.finish_migrations();
+            for m in inflight.drain(..) {
+                pool.complete_migration(m.from_node, m.to_node);
+            }
             let moved = self.reschedule_round(pool);
             if moved.is_empty() {
                 break;
             }
+            inflight.clone_from(&moved);
             all.extend(moved);
         }
-        pool.finish_migrations();
+        for m in inflight {
+            pool.complete_migration(m.from_node, m.to_node);
+        }
         all
     }
 
@@ -330,14 +339,43 @@ mod tests {
         let moves = Rescheduler::default().reschedule_round(&mut pool);
         // Both nodes flagged after the first move → exactly one migration.
         assert_eq!(moves.len(), 1);
-        // Next round without clearing flags does nothing.
+        // Next round without completing the move does nothing.
         let more = Rescheduler::default().reschedule_round(&mut pool);
         assert!(more.is_empty());
-        // Clearing the flags re-enables migration.
-        pool.finish_migrations();
+        // Completing that migration re-enables its nodes.
+        pool.complete_migration(moves[0].from_node, moves[0].to_node);
         assert!(!Rescheduler::default()
             .reschedule_round(&mut pool)
             .is_empty());
+    }
+
+    #[test]
+    fn slow_migration_blocks_a_second_move_from_the_same_node() {
+        // A migration that has not completed must keep blocking its source
+        // across arbitrarily many rounds — the regression the old wholesale
+        // `finish_migrations` sweep hid (every round cleared every flag, so
+        // a "slow" move never actually back-pressured the scheduler).
+        let mut pool = skewed_pool();
+        let first = Rescheduler::default().reschedule_round(&mut pool);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].from_node, 1);
+        for round in 0..5 {
+            let moves = Rescheduler::default().reschedule_round(&mut pool);
+            assert!(
+                moves.is_empty(),
+                "round {round} migrated off node 1 while its move was still in flight: {moves:?}"
+            );
+            assert!(pool.nodes[0].is_migrating, "source flag dropped early");
+        }
+        // Only the engine's per-migration completion unblocks the node.
+        pool.complete_migration(first[0].from_node, first[0].to_node);
+        assert!(!pool.nodes[0].is_migrating && !pool.nodes[1].is_migrating);
+        let next = Rescheduler::default().reschedule_round(&mut pool);
+        assert_eq!(next.len(), 1, "completed nodes should migrate again");
+        assert_eq!(next[0].from_node, 1);
+        // Completing an unrelated pair must not unblock a busy node.
+        pool.complete_migration(7, 9);
+        assert!(pool.nodes[0].is_migrating);
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn main() {
 
     let rescheduler = Rescheduler::default();
     println!("round | RU util per node        | storage util per node   | RU std");
+    let mut inflight = Vec::new();
     for round in 0..60 {
         if round % 5 == 0 {
             println!(
@@ -70,12 +71,19 @@ fn main() {
                 pool.ru_util_std()
             );
         }
-        pool.finish_migrations();
+        // Offline regime: every move started last round has completed — each
+        // one is finished individually, matching the live engine's
+        // per-migration completion callbacks.
+        for m in std::mem::take(&mut inflight) {
+            let m: abase::scheduler::Migration = m;
+            pool.complete_migration(m.from_node, m.to_node);
+        }
         let moves = rescheduler.reschedule_round(&mut pool);
         if moves.is_empty() && round > 0 {
             println!("converged after {round} rounds");
             break;
         }
+        inflight = moves;
     }
     let (r, s) = pool.optimal_load();
     println!(
