@@ -26,6 +26,8 @@
 
 pub mod fault;
 pub mod runner;
+pub mod socket;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use runner::{ChaosConfig, ChaosReport, ChaosRunner, EpisodeReport};
+pub use socket::{run_socket_episode, SocketEpisodeReport, SocketFault};

@@ -10,13 +10,14 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: abase-chaos [--episodes N] [--seed BASE] [--ticks T] \
-         [--partitions P] [--nodes M] [--quiet]"
+         [--partitions P] [--nodes M] [--socket-episodes S] [--quiet]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut episodes: u64 = 50;
+    let mut socket_episodes: u64 = 0;
     let mut seed: u64 = 0;
     let mut quiet = false;
     let mut config = ChaosConfig::default();
@@ -30,6 +31,7 @@ fn main() {
         };
         match arg.as_str() {
             "--episodes" => episodes = value("--episodes"),
+            "--socket-episodes" => socket_episodes = value("--socket-episodes"),
             "--seed" => seed = value("--seed"),
             "--ticks" => config.ticks = value("--ticks"),
             "--partitions" => config.partitions = value("--partitions"),
@@ -76,12 +78,50 @@ fn main() {
             );
         }
     }
+    // Socket-transport episodes: frame drop/duplicate/reorder, partitions,
+    // and mid-stream leader kills over a real TCP replica pair.
+    let mut socket_failures = 0u64;
+    for i in 0..socket_episodes {
+        let report = abase_chaos::run_socket_episode(seed + i);
+        if report.ok() {
+            if !quiet {
+                println!(
+                    "socket episode seed={} ok: {} writes, acked lsn {}, \
+                     {} frame faults, {} resyncs{}",
+                    report.seed,
+                    report.writes,
+                    report.acked_lsn,
+                    report.faults_armed,
+                    report.resyncs,
+                    if report.leader_killed {
+                        ", leader killed"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        } else {
+            socket_failures += 1;
+            for violation in &report.violations {
+                eprintln!(
+                    "socket episode seed={}: VIOLATION: {violation}",
+                    report.seed
+                );
+            }
+            eprintln!(
+                "socket episode seed={} FAILED — replay with CHAOS_SEED={}",
+                report.seed, report.seed
+            );
+        }
+    }
     println!(
-        "chaos: {}/{episodes} episodes green in {:.1?} (base seed {seed})",
+        "chaos: {}/{episodes} episodes green, {}/{socket_episodes} socket episodes green \
+         in {:.1?} (base seed {seed})",
         episodes - failures,
+        socket_episodes - socket_failures,
         started.elapsed()
     );
-    if failures > 0 {
+    if failures + socket_failures > 0 {
         std::process::exit(1);
     }
 }

@@ -10,6 +10,7 @@ use abase_lavastore::{Db, DbConfig, ReadResult};
 use abase_proto::{Command, RespValue};
 use abase_util::clock::SimTime;
 use bytes::Bytes;
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 use crate::types::TenantId;
@@ -32,10 +33,19 @@ pub struct ExecOutcome {
 /// The store is held behind an [`Arc`] so a replication plane can share it:
 /// a replica-group leader executes commands through the engine while the
 /// group ships the same store's WAL to followers, and a follower's engine
-/// serves reads over the store the group keeps in sync.
-#[derive(Debug)]
+/// serves reads over the store the group keeps in sync. The handle is
+/// swappable ([`TableEngine::swap_db`]) because a socket follower's full
+/// resync replaces its store wholesale while the RESP server keeps serving.
 pub struct TableEngine {
-    db: Arc<Db>,
+    db: RwLock<Arc<Db>>,
+}
+
+impl std::fmt::Debug for TableEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableEngine")
+            .field("dir", &self.db().dir())
+            .finish()
+    }
 }
 
 impl TableEngine {
@@ -45,23 +55,33 @@ impl TableEngine {
         config: DbConfig,
     ) -> abase_lavastore::Result<Self> {
         Ok(Self {
-            db: Arc::new(Db::open(dir, config)?),
+            db: RwLock::new(Arc::new(Db::open(dir, config)?)),
         })
     }
 
     /// An engine over an existing (typically replicated) store.
     pub fn from_db(db: Arc<Db>) -> Self {
-        Self { db }
+        Self {
+            db: RwLock::new(db),
+        }
     }
 
-    /// Direct access to the underlying store (flush/compaction control).
-    pub fn db(&self) -> &Db {
-        &self.db
+    /// The current store handle (flush/compaction control, direct reads).
+    pub fn db(&self) -> Arc<Db> {
+        Arc::clone(&self.db.read())
     }
 
     /// A shareable handle to the store, for wiring into a replica group.
     pub fn shared_db(&self) -> Arc<Db> {
-        Arc::clone(&self.db)
+        self.db()
+    }
+
+    /// Replace the underlying store. Commands already executing finish
+    /// against the handle they cloned; new commands see the replacement —
+    /// exactly the semantics a follower needs when a full resync swaps its
+    /// data directory for a fresh leader checkpoint.
+    pub fn swap_db(&self, db: Arc<Db>) {
+        *self.db.write() = db;
     }
 
     /// The storage-level key a tenant's string key namespaces to — exposed so
@@ -99,6 +119,7 @@ impl TableEngine {
         cmd: &Command,
         now: SimTime,
     ) -> abase_lavastore::Result<ExecOutcome> {
+        let db = self.db();
         match cmd {
             Command::Ping => Ok(ExecOutcome {
                 reply: RespValue::Simple("PONG".into()),
@@ -121,6 +142,15 @@ impl TableEngine {
                 bytes_returned: 2,
                 from_memtable: true,
             }),
+            // PSYNC only makes sense on a connection the server switched
+            // into replica-streaming mode; reaching the engine means no
+            // replication plane is attached here.
+            Command::PSync { .. } => Ok(ExecOutcome {
+                reply: RespValue::Error("ERR PSYNC requires a replication-enabled leader".into()),
+                io_ops: 0,
+                bytes_returned: 0,
+                from_memtable: true,
+            }),
             // Consistency is per-connection state owned by the server's read
             // routing; a bare engine acknowledges and stays leader-local.
             Command::Consistency { .. } => Ok(ExecOutcome {
@@ -130,7 +160,7 @@ impl TableEngine {
                 from_memtable: true,
             }),
             Command::Get { key } => {
-                let r = self.db.get(&Self::string_key(tenant, key), now)?;
+                let r = db.get(&Self::string_key(tenant, key), now)?;
                 Ok(Self::bulk_outcome(r))
             }
             Command::Set {
@@ -139,8 +169,7 @@ impl TableEngine {
                 ttl_secs,
             } => {
                 let expires = ttl_secs.map(|s| now + s * 1_000_000);
-                self.db
-                    .put(&Self::string_key(tenant, key), value, expires, now)?;
+                db.put(&Self::string_key(tenant, key), value, expires, now)?;
                 Ok(ExecOutcome {
                     reply: RespValue::ok(),
                     io_ops: 0,
@@ -153,10 +182,10 @@ impl TableEngine {
                 let mut io = 0u32;
                 for key in keys {
                     let sk = Self::string_key(tenant, key);
-                    let r = self.db.get(&sk, now)?;
+                    let r = db.get(&sk, now)?;
                     io += r.io_ops;
                     if r.value.is_some() {
-                        self.db.delete(&sk, now)?;
+                        db.delete(&sk, now)?;
                         removed += 1;
                     }
                 }
@@ -168,7 +197,7 @@ impl TableEngine {
                 })
             }
             Command::Exists { key } => {
-                let r = self.db.get(&Self::string_key(tenant, key), now)?;
+                let r = db.get(&Self::string_key(tenant, key), now)?;
                 Ok(ExecOutcome {
                     reply: RespValue::Integer(i64::from(r.value.is_some())),
                     io_ops: r.io_ops,
@@ -178,7 +207,7 @@ impl TableEngine {
             }
             Command::Expire { key, secs } => {
                 let sk = Self::string_key(tenant, key);
-                let r = self.db.get(&sk, now)?;
+                let r = db.get(&sk, now)?;
                 match r.value {
                     None => Ok(ExecOutcome {
                         reply: RespValue::Integer(0),
@@ -187,8 +216,7 @@ impl TableEngine {
                         from_memtable: r.from_memtable,
                     }),
                     Some(value) => {
-                        self.db
-                            .put(&sk, &value, Some(now + secs * 1_000_000), now)?;
+                        db.put(&sk, &value, Some(now + secs * 1_000_000), now)?;
                         Ok(ExecOutcome {
                             reply: RespValue::Integer(1),
                             io_ops: r.io_ops,
@@ -200,8 +228,7 @@ impl TableEngine {
             }
             Command::HSet { key, pairs } => {
                 for (field, value) in pairs {
-                    self.db
-                        .put(&Self::hash_field_key(tenant, key, field), value, None, now)?;
+                    db.put(&Self::hash_field_key(tenant, key, field), value, None, now)?;
                 }
                 Ok(ExecOutcome {
                     reply: RespValue::Integer(pairs.len() as i64),
@@ -211,9 +238,7 @@ impl TableEngine {
                 })
             }
             Command::HGet { key, field } => {
-                let r = self
-                    .db
-                    .get(&Self::hash_field_key(tenant, key, field), now)?;
+                let r = db.get(&Self::hash_field_key(tenant, key, field), now)?;
                 Ok(Self::bulk_outcome(r))
             }
             Command::HDel { key, fields } => {
@@ -221,10 +246,10 @@ impl TableEngine {
                 let mut io = 0u32;
                 for field in fields {
                     let fk = Self::hash_field_key(tenant, key, field);
-                    let r = self.db.get(&fk, now)?;
+                    let r = db.get(&fk, now)?;
                     io += r.io_ops;
                     if r.value.is_some() {
-                        self.db.delete(&fk, now)?;
+                        db.delete(&fk, now)?;
                         removed += 1;
                     }
                 }
@@ -236,7 +261,7 @@ impl TableEngine {
                 })
             }
             Command::HLen { key } => {
-                let (pairs, io) = self.db.scan_prefix(&Self::hash_prefix(tenant, key), now)?;
+                let (pairs, io) = db.scan_prefix(&Self::hash_prefix(tenant, key), now)?;
                 Ok(ExecOutcome {
                     reply: RespValue::Integer(pairs.len() as i64),
                     io_ops: io,
@@ -246,7 +271,7 @@ impl TableEngine {
             }
             Command::HGetAll { key } => {
                 let prefix = Self::hash_prefix(tenant, key);
-                let (pairs, io) = self.db.scan_prefix(&prefix, now)?;
+                let (pairs, io) = db.scan_prefix(&prefix, now)?;
                 let mut items = Vec::with_capacity(pairs.len() * 2);
                 let mut bytes = 0usize;
                 for (k, v) in pairs {

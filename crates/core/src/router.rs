@@ -80,12 +80,27 @@ impl RouterStats {
     }
 }
 
+/// Per-partition rotation state: a logical clock and each follower's
+/// last-served tick.
+#[derive(Debug, Default)]
+struct Rotation {
+    clock: u64,
+    last_served: HashMap<NodeId, u64>,
+}
+
 /// The replica-aware read router.
 #[derive(Debug, Default)]
 pub struct ReadRouter {
     config: ReadRouterConfig,
-    /// Per-partition round-robin cursor over follower candidates.
-    cursors: HashMap<PartitionId, usize>,
+    /// Per-partition rotation: each spread read goes to the
+    /// least-recently-served candidate. Unlike a `cursor % len` round-robin,
+    /// this stays balanced when the candidate set shrinks, grows, or
+    /// interleaves with differently filtered sets — e.g. RYW reads whose
+    /// fence admits one follower, interleaved 1:1 with Eventual reads over
+    /// two, used to advance the cursor so every Eventual read hit the same
+    /// node; least-recently-served sends them to whichever follower the
+    /// fenced traffic is *not* loading.
+    rotations: HashMap<PartitionId, Rotation>,
     stats: RouterStats,
 }
 
@@ -94,7 +109,7 @@ impl ReadRouter {
     pub fn new(config: ReadRouterConfig) -> Self {
         Self {
             config,
-            cursors: HashMap::new(),
+            rotations: HashMap::new(),
             stats: RouterStats::default(),
         }
     }
@@ -157,9 +172,16 @@ impl ReadRouter {
         if candidates.is_empty() {
             return Some(leader_decision(&mut self.stats, true));
         }
-        let cursor = self.cursors.entry(partition).or_insert(0);
-        let node = candidates[*cursor % candidates.len()];
-        *cursor = cursor.wrapping_add(1);
+        // Least-recently-served rotation: independent of candidate-set size,
+        // so a set that shrank (or interleaves with differently fenced sets)
+        // still spreads load evenly instead of skewing onto one follower.
+        let rotation = self.rotations.entry(partition).or_default();
+        rotation.clock += 1;
+        let node = *candidates
+            .iter()
+            .min_by_key(|n| rotation.last_served.get(n).copied().unwrap_or(0))
+            .expect("candidates checked non-empty above");
+        rotation.last_served.insert(node, rotation.clock);
         self.stats.follower_reads += 1;
         Some(RouteDecision {
             node,
@@ -262,6 +284,61 @@ mod tests {
         let d = router.route(&meta, 9, ReadConsistency::Eventual).unwrap();
         assert_eq!(d.node, 4);
         assert!(router.route(&meta, 999, ReadConsistency::Leader).is_none());
+    }
+
+    #[test]
+    fn rotation_survives_shrinking_candidate_sets() {
+        // Follower 1 is fully caught up; follower 2 trails a little, so a
+        // RYW fence at 100 shrinks the candidate set to {1} while Eventual
+        // still sees {1, 2}. With the old `cursor % len` arithmetic the
+        // interleaved RYW reads advanced the shared cursor by one each,
+        // locking the Eventual reads onto a single parity — one follower
+        // took *all* the spread traffic. Least-recently-served must balance
+        // the combined load across both followers.
+        let mut meta = meta_with_group();
+        meta.report_replica_health(7, 1, true, 100);
+        meta.report_replica_health(7, 2, true, 60);
+        let mut router = ReadRouter::default();
+        let mut served: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        for _ in 0..8 {
+            let d = router
+                .route(&meta, 7, ReadConsistency::ReadYourWrites(100))
+                .unwrap();
+            assert_eq!(d.node, 1, "only follower 1 satisfies the fence");
+            *served.entry(d.node).or_default() += 1;
+            let d = router.route(&meta, 7, ReadConsistency::Eventual).unwrap();
+            assert!(!d.is_leader);
+            *served.entry(d.node).or_default() += 1;
+        }
+        let n1 = served.get(&1).copied().unwrap_or(0);
+        let n2 = served.get(&2).copied().unwrap_or(0);
+        assert_eq!(n1 + n2, 16);
+        assert!(
+            n1.abs_diff(n2) <= 1,
+            "spread traffic skewed onto one follower: {served:?}"
+        );
+        // A candidate dying mid-rotation (the set shrinks, then grows back)
+        // must not wedge the rotation either.
+        meta.report_replica_health(7, 2, false, 60);
+        for _ in 0..3 {
+            let d = router.route(&meta, 7, ReadConsistency::Eventual).unwrap();
+            assert_eq!(d.node, 1);
+        }
+        meta.report_replica_health(7, 2, true, 60);
+        let mut revived = std::collections::HashSet::new();
+        for _ in 0..4 {
+            revived.insert(
+                router
+                    .route(&meta, 7, ReadConsistency::Eventual)
+                    .unwrap()
+                    .node,
+            );
+        }
+        assert_eq!(
+            revived,
+            [1, 2].into_iter().collect(),
+            "rotation never recovered follower 2"
+        );
     }
 
     #[test]

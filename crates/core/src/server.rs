@@ -25,13 +25,20 @@
 use crate::engine::TableEngine;
 use crate::types::ConsistencyLevel;
 use abase_proto::{Command, RespValue};
-use abase_replication::{ReadConsistency, ReplicaGroup};
+use abase_replication::{
+    socket, ReadConsistency, RemoteFollowerState, ReplicaGroup, ReplicaSource,
+};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The cap substituted when a client sends `WAIT n 0` ("no limit"): the
+/// server never parks a connection forever on a dead follower, it parks it
+/// for at most this long and replies with the acks reached.
+pub const WAIT_UNBOUNDED_CAP: Duration = Duration::from_secs(30);
 
 /// What `WAIT` needs from a replication plane. Implemented for a locked
 /// [`ReplicaGroup`]; custom planes (tests, future geo-replication) can
@@ -63,6 +70,32 @@ pub trait ReplicationControl: Send + Sync {
         consistency: ReadConsistency,
         now: u64,
     ) -> Result<(Option<Vec<u8>>, u64), String>;
+
+    /// Followers (local and remote) whose durably applied LSN reaches `lsn`
+    /// — the non-blocking half of `WAIT`. Unlike [`ReplicationControl::
+    /// wait_for`], this must answer even with no live leader: a session with
+    /// no fence to enforce is owed a count, not a refusal.
+    fn acked_followers(&self, lsn: u64) -> usize {
+        let _ = lsn;
+        0
+    }
+
+    /// The leader-side source a `PSYNC` replica connection streams from.
+    /// `None` when this node does not lead a replica group (followers and
+    /// unreplicated nodes refuse PSYNC).
+    fn replica_source(&self) -> Option<ReplicaSource> {
+        None
+    }
+
+    /// Register (or re-register after a reconnect) a remote follower; its
+    /// shared ack state feeds the same accounting `WAIT` reads. The second
+    /// element is the registration generation the connection passes to
+    /// [`RemoteFollowerState::disconnect`] at teardown.
+    fn register_remote(&self, id: u32) -> Result<(Arc<RemoteFollowerState>, u64), String> {
+        Err(format!(
+            "this replication plane does not accept remote followers (replica {id})"
+        ))
+    }
 }
 
 impl ReplicationControl for Mutex<ReplicaGroup> {
@@ -73,6 +106,25 @@ impl ReplicationControl for Mutex<ReplicaGroup> {
     fn wait_for(&self, lsn: u64, numreplicas: usize, timeout: Duration) -> Result<usize, String> {
         let deadline = Instant::now() + timeout;
         drive_followers(self, lsn, numreplicas, deadline)
+    }
+
+    fn acked_followers(&self, lsn: u64) -> usize {
+        self.lock().followers_acked(lsn)
+    }
+
+    fn replica_source(&self) -> Option<ReplicaSource> {
+        let group = self.lock();
+        let leader = group.leader()?;
+        Some(ReplicaSource {
+            db: group.leader_db().ok()?,
+            wal_dir: group.replica_dir(leader).ok()?,
+        })
+    }
+
+    fn register_remote(&self, id: u32) -> Result<(Arc<RemoteFollowerState>, u64), String> {
+        self.lock()
+            .register_remote_follower(id)
+            .map_err(|e| e.to_string())
     }
 
     fn read_routed(
@@ -159,6 +211,9 @@ pub struct RespServer {
     clock_micros: Arc<AtomicU64>,
     /// Replication plane behind `WAIT`, when this node leads a replica group.
     replication: Option<Arc<dyn ReplicationControl>>,
+    /// Refuse client writes (a follower replica's server: its store is
+    /// written exclusively by the replication stream).
+    read_only: bool,
 }
 
 impl RespServer {
@@ -171,12 +226,21 @@ impl RespServer {
             shutdown: Arc::new(AtomicBool::new(false)),
             clock_micros: Arc::new(AtomicU64::new(0)),
             replication: None,
+            read_only: false,
         })
     }
 
     /// Attach the replication plane serving `WAIT`.
     pub fn with_replication(mut self, replication: Arc<dyn ReplicationControl>) -> Self {
         self.replication = Some(replication);
+        self
+    }
+
+    /// Refuse client writes with `-READONLY` (follower replicas: the store
+    /// is written exclusively by the replication stream — a client write
+    /// would silently diverge it from the leader).
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
         self
     }
 
@@ -205,11 +269,15 @@ impl RespServer {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Request/reply and replica-stream traffic are both small-frame;
+            // Nagle + delayed-ACK would add tens of ms per exchange.
+            stream.set_nodelay(true).ok();
             let engine = Arc::clone(&self.engine);
             let clock = Arc::clone(&self.clock_micros);
             let replication = self.replication.clone();
+            let read_only = self.read_only;
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, engine, clock, replication);
+                let _ = serve_connection(stream, engine, clock, replication, read_only);
             });
         }
         Ok(())
@@ -226,8 +294,13 @@ struct ConnState {
     tenant: u32,
     consistency: ConsistencyLevel,
     /// Highest LSN this connection's writes reached — what a
-    /// `readyourwrites` read fences on.
+    /// `readyourwrites` read fences on, and the fence `WAIT` enforces.
     session_lsn: u64,
+    /// `REPLCONF replica-id` announced by a connecting follower.
+    replica_id: Option<u32>,
+    /// `REPLCONF listening-port` announced by a connecting follower (its own
+    /// RESP port — handshake metadata for observability/redirects).
+    listening_port: Option<u16>,
 }
 
 fn serve_connection(
@@ -235,6 +308,7 @@ fn serve_connection(
     engine: Arc<TableEngine>,
     clock: Arc<AtomicU64>,
     replication: Option<Arc<dyn ReplicationControl>>,
+    read_only: bool,
 ) -> std::io::Result<()> {
     let mut buffer: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
@@ -258,18 +332,86 @@ fn serve_connection(
             };
             let Some((value, used)) = parsed else { break };
             buffer.drain(..used);
-            let reply = dispatch(&value, &engine, &clock, &mut state, replication.as_deref());
+            // One parse per frame, shared by the PSYNC intercept and the
+            // dispatcher (AUTH is not a `Command` and is handled from the
+            // raw frame inside dispatch, so a parse error is not fatal yet).
+            let command = Command::from_resp(&value);
+            // PSYNC switches the connection into replica-streaming mode: it
+            // never returns to the command loop (the socket now carries
+            // BATCH/FILE frames one way and REPLCONF ACKs the other).
+            if let (Ok(Command::PSync { position }), Some(repl)) =
+                (&command, replication.as_deref())
+            {
+                return serve_replica_connection(
+                    stream,
+                    std::mem::take(&mut buffer),
+                    *position,
+                    state.replica_id,
+                    repl,
+                );
+            }
+            let reply = dispatch(
+                &value,
+                command,
+                &engine,
+                &clock,
+                &mut state,
+                replication.as_deref(),
+                read_only,
+            );
             stream.write_all(&reply.to_bytes())?;
         }
     }
 }
 
+/// Serve a `PSYNC` replica connection on the leader. The group lock is held
+/// only to clone out the [`ReplicaSource`] and register the follower —
+/// streaming (and any checkpoint ship) runs with the group unlocked, exactly
+/// like the staged resync copies, so `WAIT`/commit on other connections flow
+/// freely for the duration.
+fn serve_replica_connection(
+    mut stream: TcpStream,
+    leftover: Vec<u8>,
+    position: Option<(u64, u64)>,
+    replica_id: Option<u32>,
+    repl: &dyn ReplicationControl,
+) -> std::io::Result<()> {
+    let Some(source) = repl.replica_source() else {
+        stream.write_all(
+            &RespValue::Error("ERR PSYNC: this node does not lead a replica group".into())
+                .to_bytes(),
+        )?;
+        return Ok(());
+    };
+    // Followers that skip `REPLCONF replica-id` get a server-assigned id
+    // well clear of the cluster's node-id space.
+    let id = replica_id.unwrap_or_else(socket::anonymous_replica_id);
+    let (remote, generation) = match repl.register_remote(id) {
+        Ok(registered) => registered,
+        Err(e) => {
+            stream.write_all(&RespValue::Error(format!("ERR replication: {e}")).to_bytes())?;
+            return Ok(());
+        }
+    };
+    let tag = format!("replica-{id}");
+    let result = socket::serve_replica_stream(
+        stream, leftover, &source, &remote, generation, position, &tag,
+    );
+    // Generation-guarded: if the follower already reconnected (a newer
+    // registration owns this state), this stale connection's death must not
+    // mark the live one down.
+    remote.disconnect(generation);
+    result
+}
+
 fn dispatch(
     value: &RespValue,
+    command: Result<Command, abase_proto::ParseCommandError>,
     engine: &TableEngine,
     clock: &AtomicU64,
     state: &mut ConnState,
     replication: Option<&dyn ReplicationControl>,
+    read_only: bool,
 ) -> RespValue {
     // AUTH is handled at the connection layer (it selects the tenant).
     if let RespValue::Array(Some(items)) = value {
@@ -289,7 +431,7 @@ fn dispatch(
             }
         }
     }
-    let command = match Command::from_resp(value) {
+    let command = match command {
         Ok(c) => c,
         Err(e) => return RespValue::Error(format!("ERR {e}")),
     };
@@ -311,6 +453,18 @@ fn dispatch(
             },
         };
     }
+    // REPLCONF is connection state too: a connecting follower announces its
+    // listening port and replica id before PSYNC; `ack` frames landing here
+    // (outside a replica stream) are acknowledged and ignored.
+    if let Command::ReplConf { .. } = &command {
+        if let Some(port) = command.replconf_option("listening-port") {
+            state.listening_port = Some(port as u16);
+        }
+        if let Some(id) = command.replconf_option("replica-id") {
+            state.replica_id = Some(id as u32);
+        }
+        return RespValue::ok();
+    }
     // WAIT is answered by the replication plane when one is attached; the
     // engine's fallback (0 replicas acked) covers unreplicated nodes.
     if let (
@@ -321,16 +475,31 @@ fn dispatch(
         Some(repl),
     ) = (&command, replication)
     {
-        // Fencing on a fabricated LSN (e.g. 0 with no live leader) would let
-        // WAIT report replicas as acked when nothing replicated.
-        let Some(lsn) = repl.last_lsn() else {
+        let want = *numreplicas as usize;
+        // Redis semantics: WAIT fences on the *connection's* last write, not
+        // the global leader LSN — a read-only session must never block on
+        // (or fail because of) other clients' writes. With no fence, or one
+        // the followers already acked, the current count is the answer,
+        // live leader or not.
+        let fence = state.session_lsn;
+        let acked = repl.acked_followers(fence);
+        if fence == 0 || acked >= want {
+            return RespValue::Integer(acked as i64);
+        }
+        // There is replication left to drive, which needs a live leader —
+        // fencing on a fabricated LSN would report phantom acks.
+        if repl.last_lsn().is_none() {
             return RespValue::Error("ERR replication: no live leader".into());
+        }
+        // `timeout 0` is documented as "no limit"; the server maps it to its
+        // own cap instead of the historical single non-blocking pass (and
+        // instead of parking the connection forever on a dead follower).
+        let timeout = if *timeout_ms == 0 {
+            WAIT_UNBOUNDED_CAP
+        } else {
+            Duration::from_millis(*timeout_ms)
         };
-        return match repl.wait_for(
-            lsn,
-            *numreplicas as usize,
-            Duration::from_millis(*timeout_ms),
-        ) {
+        return match repl.wait_for(fence, want, timeout) {
             Ok(acked) => RespValue::Integer(acked as i64),
             Err(e) => RespValue::Error(format!("ERR replication: {e}")),
         };
@@ -354,6 +523,11 @@ fn dispatch(
                 Err(e) => RespValue::Error(format!("ERR replication: {e}")),
             };
         }
+    }
+    // A follower replica's store is written only by the replication stream;
+    // a client write here would silently diverge it from the leader.
+    if read_only && command.is_write() {
+        return RespValue::Error("READONLY You can't write against a read only replica.".into());
     }
     match engine.execute(state.tenant, &command, now) {
         Ok(outcome) => {
@@ -707,6 +881,273 @@ mod tests {
         assert!(matches!(reply, RespValue::Error(_)));
         let reply = roundtrip(&mut client, b"*1\r\n$11\r\nCONSISTENCY\r\n");
         assert_eq!(reply, RespValue::bulk("eventual"));
+    }
+
+    #[test]
+    fn wait_fences_on_the_sessions_own_writes_not_other_clients() {
+        use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
+        let dir = TestDir::new("wait-session-fence");
+        let group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1, 2, 3],
+            GroupConfig {
+                // Async: followers lag until someone pumps them, so a global
+                // fence would make the read-only client block.
+                write_concern: WriteConcern::Async,
+                db: DbConfig::small_for_tests(),
+                wait_timeout: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
+        let group = Arc::new(Mutex::new(group));
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut writer = TcpStream::connect(addr).unwrap();
+        let mut reader = TcpStream::connect(addr).unwrap();
+        // Another client writes; followers have not acked it.
+        roundtrip(&mut writer, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        // The read-only session has no fence: WAIT answers immediately with
+        // the live follower count instead of blocking on the writer's LSN
+        // (the old code fenced on the global leader LSN and would park here
+        // for the full timeout).
+        let started = Instant::now();
+        let reply = roundtrip(
+            &mut reader,
+            b"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$4\r\n5000\r\n",
+        );
+        assert_eq!(reply, RespValue::Integer(2));
+        assert!(
+            started.elapsed() < Duration::from_millis(1500),
+            "fence-free WAIT blocked on another session's write"
+        );
+        // With every replica dead, a fence-free WAIT still answers (0 acked)
+        // — the no-leader refusal is reserved for sessions with a fence.
+        {
+            let mut g = group.lock();
+            g.fail_replica(1).unwrap();
+            g.fail_replica(2).unwrap();
+            g.fail_replica(3).unwrap();
+        }
+        let reply = roundtrip(&mut reader, b"*3\r\n$4\r\nWAIT\r\n$1\r\n1\r\n$2\r\n50\r\n");
+        assert_eq!(reply, RespValue::Integer(0));
+        // The writer has a fence to enforce: refusal stands.
+        let reply = roundtrip(&mut writer, b"*3\r\n$4\r\nWAIT\r\n$1\r\n1\r\n$2\r\n50\r\n");
+        match reply {
+            RespValue::Error(e) => assert!(e.contains("no live leader"), "{e}"),
+            other => panic!("expected no-leader error, got {other:?}"),
+        }
+    }
+
+    /// Records what the server actually asked the replication plane for.
+    struct RecordingRepl {
+        calls: Mutex<Vec<(u64, usize, Duration)>>,
+    }
+
+    impl ReplicationControl for RecordingRepl {
+        fn last_lsn(&self) -> Option<u64> {
+            Some(42)
+        }
+        fn wait_for(
+            &self,
+            lsn: u64,
+            numreplicas: usize,
+            timeout: Duration,
+        ) -> Result<usize, String> {
+            self.calls.lock().push((lsn, numreplicas, timeout));
+            Ok(numreplicas)
+        }
+        fn commit_written(&self) -> Result<u64, String> {
+            Ok(7)
+        }
+        fn read_routed(
+            &self,
+            _key: &[u8],
+            _consistency: ReadConsistency,
+            _now: u64,
+        ) -> Result<(Option<Vec<u8>>, u64), String> {
+            Err("not under test".into())
+        }
+    }
+
+    #[test]
+    fn wait_zero_timeout_maps_to_the_server_cap_and_session_fence() {
+        let (_dir, _addr, _clock) = start_server("wait-cap-unused");
+        let dir = TestDir::new("wait-cap");
+        let engine = Arc::new(TableEngine::open(dir.path(), DbConfig::small_for_tests()).unwrap());
+        let repl = Arc::new(RecordingRepl {
+            calls: Mutex::new(Vec::new()),
+        });
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&repl) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut client = TcpStream::connect(addr).unwrap();
+        // The write pins the session fence at the committed LSN (7).
+        roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        // `WAIT 2 0`: no client limit — the server must substitute its cap,
+        // not treat it as a single non-blocking pass.
+        roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$1\r\n0\r\n");
+        // A finite timeout passes through untouched.
+        roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$3\r\n250\r\n");
+        let calls = repl.calls.lock();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(
+            calls[0],
+            (7, 2, WAIT_UNBOUNDED_CAP),
+            "WAIT n 0 must fence on the session LSN with the server cap"
+        );
+        assert_eq!(calls[1], (7, 2, Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn wait_finite_timeout_returns_acked_so_far() {
+        use abase_replication::{GroupConfig, ReplicaGroup, WriteConcern};
+        let dir = TestDir::new("wait-partial");
+        let group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1, 2, 3],
+            GroupConfig {
+                write_concern: WriteConcern::Async,
+                db: DbConfig::small_for_tests(),
+                wait_timeout: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
+        let group = Arc::new(Mutex::new(group));
+        group.lock().fail_replica(3).unwrap();
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        // Asking for 2 follower acks with one follower dead: the reply is
+        // the ack count reached when the budget expires, not an error.
+        let started = Instant::now();
+        let reply = roundtrip(&mut client, b"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$2\r\n80\r\n");
+        assert_eq!(reply, RespValue::Integer(1));
+        let elapsed = started.elapsed();
+        assert!(elapsed >= Duration::from_millis(60), "returned early");
+        assert!(elapsed < Duration::from_secs(5), "ignored the timeout");
+    }
+
+    #[test]
+    fn read_only_server_refuses_writes() {
+        let dir = TestDir::new("read-only");
+        let engine = Arc::new(TableEngine::open(dir.path(), DbConfig::small_for_tests()).unwrap());
+        engine
+            .execute(
+                0,
+                &Command::Set {
+                    key: "k".into(),
+                    value: "v".into(),
+                    ttl_secs: None,
+                },
+                0,
+            )
+            .unwrap();
+        let server = RespServer::bind(engine, "127.0.0.1:0").unwrap().read_only();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let mut client = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nw\r\n");
+        match reply {
+            RespValue::Error(e) => assert!(e.starts_with("READONLY"), "{e}"),
+            other => panic!("expected READONLY, got {other:?}"),
+        }
+        // Reads still serve the replicated state.
+        assert_eq!(
+            roundtrip(&mut client, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"),
+            RespValue::bulk("v")
+        );
+    }
+
+    #[test]
+    fn psync_streams_a_remote_follower_through_the_resp_server() {
+        use abase_replication::{
+            FollowerPump, GroupConfig, ReplicaGroup, SocketFollower, WriteConcern,
+        };
+        let dir = TestDir::new("psync-resp");
+        let fdir = TestDir::new("psync-resp-follower");
+        let group = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[1],
+            GroupConfig {
+                write_concern: WriteConcern::Quorum,
+                db: DbConfig::small_for_tests(),
+                wait_timeout: Duration::from_secs(5),
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
+        let group = Arc::new(Mutex::new(group));
+        let server = RespServer::bind(engine, "127.0.0.1:0")
+            .unwrap()
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        // The follower in "another process": its pump thread drives the
+        // REPLCONF/PSYNC handshake and the checkpoint pull.
+        let mut follower = SocketFollower::connect(
+            fdir.path().join("replica"),
+            DbConfig::small_for_tests(),
+            &addr.to_string(),
+            77,
+            0,
+        )
+        .unwrap();
+        let follower_db = follower.db();
+        let stop = Arc::new(AtomicBool::new(false));
+        let pump = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut db = follower_db;
+                while !stop.load(Ordering::Relaxed) {
+                    match follower.pump() {
+                        Ok(FollowerPump::Resynced) => db = follower.db(),
+                        Ok(_) => {}
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                db
+            })
+        };
+        // Quorum over {local leader, remote follower} = 2: +OK proves the
+        // REPLCONF ACK made it back through the socket.
+        let mut client = TcpStream::connect(addr).unwrap();
+        let reply = roundtrip(&mut client, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+        assert_eq!(reply, RespValue::ok(), "quorum write over the socket");
+        let reply = roundtrip(
+            &mut client,
+            b"*3\r\n$4\r\nWAIT\r\n$1\r\n1\r\n$4\r\n5000\r\n",
+        );
+        assert_eq!(reply, RespValue::Integer(1));
+        {
+            let g = group.lock();
+            let remotes = g.remote_followers();
+            assert_eq!(remotes.len(), 1);
+            assert_eq!(remotes[0].0, 77);
+            assert!(remotes[0].1 >= 1, "remote ack not recorded");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let db = pump.join().unwrap();
+        let key = TableEngine::storage_string_key(0, b"k");
+        assert_eq!(
+            db.get(&key, 0).unwrap().value.as_deref(),
+            Some(&b"v"[..]),
+            "the write is not on the follower"
+        );
     }
 
     #[test]

@@ -74,19 +74,36 @@ pub enum Command {
         key: Bytes,
     },
     /// `WAIT numreplicas timeout-ms` — block until that many replicas have
-    /// acknowledged all preceding writes (Redis replication semantics; the
-    /// reply is the number of replicas that actually have).
+    /// acknowledged the *connection's* last write (Redis replication
+    /// semantics; the reply is the number of replicas that actually have —
+    /// a session that never wrote has nothing to fence on and gets the
+    /// current ack count immediately).
     Wait {
         /// Follower acknowledgements required.
         numreplicas: u64,
-        /// Wait budget in milliseconds (0 = no limit).
+        /// Wait budget in milliseconds. `0` means "no client-imposed limit":
+        /// the server substitutes its own max-wait cap (it never blocks a
+        /// connection forever on a dead follower).
         timeout_ms: u64,
     },
     /// `REPLCONF key value [key value …]` — replication handshake chatter
-    /// (listening-port, ack offsets). Accepted and acknowledged.
+    /// (`listening-port`, `replica-id`, `ack <lsn>`). Accepted and
+    /// acknowledged; on a replica connection, `ack` feeds the leader's
+    /// per-follower acked-LSN accounting.
     ReplConf {
         /// Key/value option pairs as sent.
         pairs: Vec<(Bytes, Bytes)>,
+    },
+    /// `PSYNC segment offset` — a follower asks the leader to stream framed
+    /// binlog records starting at `(segment, offset)` of the leader's WAL.
+    /// `PSYNC ? -1` requests a full resynchronization (the follower has no
+    /// usable position). The leader replies `+CONTINUE` and streams, or
+    /// `+FULLRESYNC` when the asked position fell off retention — the
+    /// follower then pulls a checkpoint and re-issues PSYNC at its edge.
+    PSync {
+        /// Resume position in the leader's WAL; `None` asks for a full
+        /// resync (`PSYNC ? -1`).
+        position: Option<(u64, u64)>,
     },
     /// `CONSISTENCY [level]` — set the connection's read-consistency level
     /// (`eventual`, `readyourwrites`/`ryw`, `leader`); without an argument,
@@ -285,6 +302,23 @@ impl Command {
                 }
                 Ok(Command::ReplConf { pairs })
             }
+            "PSYNC" => {
+                want(2)?;
+                let seg = as_bulk(&args[0])?;
+                let off = as_bulk(&args[1])?;
+                if seg.as_ref() == b"?" || off.as_ref() == b"-1" {
+                    return Ok(Command::PSync { position: None });
+                }
+                let parse_u64 = |raw: &Bytes| {
+                    std::str::from_utf8(raw)
+                        .ok()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| err("PSYNC expects `segment offset` or `? -1`"))
+                };
+                Ok(Command::PSync {
+                    position: Some((parse_u64(&seg)?, parse_u64(&off)?)),
+                })
+            }
             "CONSISTENCY" => {
                 if args.len() > 1 {
                     return Err(err("CONSISTENCY expects at most one level argument"));
@@ -378,6 +412,19 @@ impl Command {
                     push(v);
                 }
             }
+            Command::PSync { position } => {
+                push(b"PSYNC");
+                match position {
+                    Some((seg, off)) => {
+                        push(seg.to_string().as_bytes());
+                        push(off.to_string().as_bytes());
+                    }
+                    None => {
+                        push(b"?");
+                        push(b"-1");
+                    }
+                }
+            }
             Command::Consistency { level } => {
                 push(b"CONSISTENCY");
                 if let Some(level) = level {
@@ -403,6 +450,7 @@ impl Command {
             Command::Ping
             | Command::Wait { .. }
             | Command::ReplConf { .. }
+            | Command::PSync { .. }
             | Command::Consistency { .. } => CommandKind::Control,
         }
     }
@@ -428,8 +476,49 @@ impl Command {
             Command::Ping
             | Command::Wait { .. }
             | Command::ReplConf { .. }
+            | Command::PSync { .. }
             | Command::Consistency { .. } => None,
         }
+    }
+
+    /// Build the `REPLCONF ack <lsn>` frame a follower sends after applying
+    /// shipped records.
+    pub fn replconf_ack(lsn: u64) -> Command {
+        Command::ReplConf {
+            pairs: vec![(
+                Bytes::copy_from_slice(b"ack"),
+                Bytes::copy_from_slice(lsn.to_string().as_bytes()),
+            )],
+        }
+    }
+
+    /// The acked LSN carried by a `REPLCONF ack <lsn>` frame, if this is one.
+    pub fn replconf_ack_lsn(&self) -> Option<u64> {
+        let Command::ReplConf { pairs } = self else {
+            return None;
+        };
+        pairs.iter().find_map(|(k, v)| {
+            if k.eq_ignore_ascii_case(b"ack") {
+                std::str::from_utf8(v).ok().and_then(|s| s.parse().ok())
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The value of a named `REPLCONF` option (`listening-port`,
+    /// `replica-id`), parsed as an unsigned integer.
+    pub fn replconf_option(&self, name: &str) -> Option<u64> {
+        let Command::ReplConf { pairs } = self else {
+            return None;
+        };
+        pairs.iter().find_map(|(k, v)| {
+            if k.eq_ignore_ascii_case(name.as_bytes()) {
+                std::str::from_utf8(v).ok().and_then(|s| s.parse().ok())
+            } else {
+                None
+            }
+        })
     }
 
     /// Payload bytes carried by the request (for write sizing / size class).
@@ -453,7 +542,7 @@ impl Command {
                 pairs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
             }
             Command::Consistency { level } => level.as_ref().map(Bytes::len).unwrap_or(0),
-            Command::Ping | Command::Wait { .. } => 0,
+            Command::Ping | Command::Wait { .. } | Command::PSync { .. } => 0,
         }
     }
 }
@@ -573,6 +662,39 @@ mod tests {
         assert_eq!(cmd.kind(), CommandKind::Control);
         assert_eq!(cmd.routing_key(), None);
         assert_eq!(Command::from_resp(&cmd.to_resp()).unwrap(), cmd);
+    }
+
+    #[test]
+    fn parses_psync_and_replconf_ack() {
+        assert_eq!(
+            parse(&["PSYNC", "3", "128"]).unwrap(),
+            Command::PSync {
+                position: Some((3, 128))
+            }
+        );
+        assert_eq!(
+            parse(&["psync", "?", "-1"]).unwrap(),
+            Command::PSync { position: None }
+        );
+        assert!(parse(&["PSYNC", "3"]).is_err());
+        assert!(parse(&["PSYNC", "x", "y"]).is_err());
+        for cmd in [
+            Command::PSync {
+                position: Some((7, 42)),
+            },
+            Command::PSync { position: None },
+        ] {
+            assert_eq!(Command::from_resp(&cmd.to_resp()).unwrap(), cmd);
+            assert_eq!(cmd.kind(), CommandKind::Control);
+            assert_eq!(cmd.routing_key(), None);
+        }
+        let ack = Command::replconf_ack(99);
+        assert_eq!(ack.replconf_ack_lsn(), Some(99));
+        assert_eq!(Command::from_resp(&ack.to_resp()).unwrap(), ack);
+        let hs = parse(&["REPLCONF", "listening-port", "6380", "replica-id", "7"]).unwrap();
+        assert_eq!(hs.replconf_option("listening-port"), Some(6380));
+        assert_eq!(hs.replconf_option("replica-id"), Some(7));
+        assert_eq!(hs.replconf_ack_lsn(), None);
     }
 
     #[test]

@@ -12,11 +12,13 @@
 
 use crate::binlog::{Binlog, Poll};
 use crate::failover::Throttle;
+use crate::transport::LogTransport;
 use crate::{Error, Lsn, Result};
 use abase_lavastore::{CheckpointInfo, Db, DbConfig, Error as StorageError, ReadResult};
 use abase_util::clock::SimTime;
 use abase_util::failpoint::{self, FaultAction};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,14 +82,72 @@ impl GroupConfig {
     }
 }
 
+/// Shared accounting for a follower living in **another process**, reached
+/// over a socket: the replica connection thread records `REPLCONF ACK`
+/// frames here and flips the connected flag, while the group's write-concern
+/// and `WAIT` arithmetic read it — same `acked_lsn` math as local followers,
+/// different source of truth.
+#[derive(Debug, Default)]
+pub struct RemoteFollowerState {
+    acked: AtomicU64,
+    connected: AtomicBool,
+    /// Bumped on every (re-)registration. A replica connection records the
+    /// generation it was registered under and may only clear the connected
+    /// flag for that generation — a stale connection's slow death (e.g. a
+    /// partitioned socket whose writes error minutes later) must not mark
+    /// the follower's *new* connection down.
+    generation: AtomicU64,
+}
+
+impl RemoteFollowerState {
+    /// Record a follower ack from the connection registered as
+    /// `generation` (monotonic: a late/duplicated ack never lowers the
+    /// watermark). A superseded connection's acks are discarded — a
+    /// follower that lost its disk and re-registered must not have a
+    /// pre-wipe ack, drained late from the old socket, resurrect a
+    /// watermark covering records it no longer holds.
+    pub fn record_ack(&self, generation: u64, lsn: Lsn) {
+        if self.generation.load(Ordering::SeqCst) == generation {
+            self.acked.fetch_max(lsn, Ordering::SeqCst);
+        }
+    }
+
+    /// Highest LSN the remote follower has acknowledged.
+    pub fn acked(&self) -> Lsn {
+        self.acked.load(Ordering::SeqCst)
+    }
+
+    /// Mark the connection for `generation` down. A no-op when a newer
+    /// registration superseded that connection — the live link keeps
+    /// counting. Disconnected remotes stop counting toward write concerns
+    /// immediately.
+    pub fn disconnect(&self, generation: u64) {
+        if self.generation.load(Ordering::SeqCst) == generation {
+            self.connected.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Is the replica connection currently up?
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+}
+
+/// A registered remote (cross-process) follower.
+struct RemoteFollower {
+    id: ReplicaId,
+    state: Arc<RemoteFollowerState>,
+}
+
 struct Replica {
     id: ReplicaId,
     dir: PathBuf,
     db: Arc<Db>,
     role: Role,
     alive: bool,
-    /// Follower-only: cursor over the leader's WAL.
-    binlog: Option<Binlog>,
+    /// Follower-only: source of the leader's log records (filesystem
+    /// [`Binlog`] in-process, a socket transport across processes).
+    transport: Option<Box<dyn LogTransport>>,
     /// Forces a checkpoint resync before the next pump (set when a demoted
     /// ex-leader may hold a divergent unacked tail whose sequence numbers
     /// would wrongly dedup against the new leader's history).
@@ -137,6 +197,8 @@ pub struct GroupStatus {
     pub leader: Option<ReplicaId>,
     /// Per-replica state.
     pub replicas: Vec<ReplicaStatus>,
+    /// Remote (cross-process) followers: `(id, acked LSN, connected)`.
+    pub remote_followers: Vec<(ReplicaId, Lsn, bool)>,
 }
 
 /// A leader/follower replica group shipping the leader's WAL.
@@ -144,6 +206,9 @@ pub struct ReplicaGroup {
     partition: u64,
     config: GroupConfig,
     replicas: Vec<Replica>,
+    /// Followers in other processes, fed over sockets; they count toward
+    /// write concerns and `WAIT` through their shared ack state.
+    remotes: Vec<RemoteFollower>,
     /// Round-robin cursor for `Eventual`/fenced reads.
     read_cursor: usize,
     /// Bumped on every leadership/membership change; an in-flight
@@ -287,10 +352,10 @@ impl ReplicaGroup {
         for (i, &id) in replica_ids.iter().enumerate() {
             let dir = replica_dir(base_dir, partition, id);
             let db = Arc::new(Db::open(&dir, config.db)?);
-            let (role, binlog) = if i == 0 {
+            let (role, transport): (Role, Option<Box<dyn LogTransport>>) = if i == 0 {
                 (Role::Leader, None)
             } else {
-                (Role::Follower, Some(Binlog::attach(&leader_dir)))
+                (Role::Follower, Some(Box::new(Binlog::attach(&leader_dir))))
             };
             replicas.push(Replica {
                 id,
@@ -298,7 +363,7 @@ impl ReplicaGroup {
                 db,
                 role,
                 alive: true,
-                binlog,
+                transport,
                 needs_full_resync: false,
                 resyncs: 0,
             });
@@ -307,6 +372,7 @@ impl ReplicaGroup {
             partition,
             config,
             replicas,
+            remotes: Vec::new(),
             read_cursor: 0,
             epoch: 0,
         })
@@ -393,7 +459,8 @@ impl ReplicaGroup {
             .collect()
     }
 
-    /// Live replicas (leader included) whose applied LSN is at least `lsn`.
+    /// Live replicas (leader included) whose applied LSN is at least `lsn`,
+    /// plus connected remote followers whose `REPLCONF ACK` reached it.
     ///
     /// A replica flagged for full resync never counts: its `last_seq` may
     /// include divergent records the group's acked history replaced, so
@@ -404,6 +471,68 @@ impl ReplicaGroup {
             .iter()
             .filter(|r| r.alive && !r.needs_full_resync && r.db.last_seq() >= lsn)
             .count()
+            + self.remote_acked(lsn)
+    }
+
+    /// Connected remote followers whose acked LSN reached `lsn`.
+    fn remote_acked(&self, lsn: Lsn) -> usize {
+        self.remotes
+            .iter()
+            .filter(|r| r.state.is_connected() && r.state.acked() >= lsn)
+            .count()
+    }
+
+    /// Register (or re-register after a reconnect) a follower living in
+    /// another process. The returned state is shared with the replica
+    /// connection thread: acks recorded there immediately count toward
+    /// write concerns and `WAIT`. The second element is this registration's
+    /// *generation*, which the connection hands back to
+    /// [`RemoteFollowerState::disconnect`] at teardown — a superseded
+    /// connection's slow death must never mark the live one down. The id
+    /// must not collide with a local member. Re-registration resets the ack
+    /// watermark — the follower re-acks its true LSN on its first pump.
+    pub fn register_remote_follower(
+        &mut self,
+        id: ReplicaId,
+    ) -> Result<(Arc<RemoteFollowerState>, u64)> {
+        if self.find(id).is_ok() {
+            return Err(Error::AlreadyMember(id));
+        }
+        // Prune disconnected strangers: anonymous followers reconnect under
+        // fresh ids, and their dead registrations must not linger.
+        self.remotes
+            .retain(|r| r.state.is_connected() || r.id == id);
+        if let Some(existing) = self.remotes.iter().find(|r| r.id == id) {
+            // Bump the generation *before* resetting the watermark: from
+            // that instant the old connection's generation-checked acks are
+            // refused, so they cannot land after the reset.
+            let generation = existing.state.generation.fetch_add(1, Ordering::SeqCst) + 1;
+            existing.state.acked.store(0, Ordering::SeqCst);
+            existing.state.connected.store(true, Ordering::SeqCst);
+            return Ok((Arc::clone(&existing.state), generation));
+        }
+        let state = Arc::new(RemoteFollowerState::default());
+        let generation = state.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        state.connected.store(true, Ordering::SeqCst);
+        self.remotes.push(RemoteFollower {
+            id,
+            state: Arc::clone(&state),
+        });
+        Ok((state, generation))
+    }
+
+    /// Drop a remote follower from the registry entirely (it stops counting
+    /// in quorum denominators too).
+    pub fn unregister_remote_follower(&mut self, id: ReplicaId) {
+        self.remotes.retain(|r| r.id != id);
+    }
+
+    /// `(id, acked LSN, connected)` per registered remote follower.
+    pub fn remote_followers(&self) -> Vec<(ReplicaId, Lsn, bool)> {
+        self.remotes
+            .iter()
+            .map(|r| (r.id, r.state.acked(), r.state.is_connected()))
+            .collect()
     }
 
     /// Write `key = value` through the leader and enforce the group's write
@@ -432,11 +561,23 @@ impl ReplicaGroup {
     }
 
     /// Replicas (leader included) the configured write concern requires.
+    /// *Connected* remote followers are members — a quorum spans processes —
+    /// while disconnected ones drop out of the denominator (Redis
+    /// `min-replicas-to-write` semantics): a follower that went away, or a
+    /// stale registration from a reconnect, must not inflate the quorum
+    /// until writes can never commit.
     pub fn commit_need(&self) -> usize {
+        let connected_remotes = self
+            .remotes
+            .iter()
+            .filter(|r| r.state.is_connected())
+            .count();
         match self.config.write_concern {
+            WriteConcern::Quorum => (self.replicas.len() + connected_remotes) / 2 + 1,
             WriteConcern::Async => 1,
-            WriteConcern::Quorum => self.replicas.len() / 2 + 1,
-            WriteConcern::All => self.replicas.iter().filter(|r| r.alive).count(),
+            WriteConcern::All => {
+                self.replicas.iter().filter(|r| r.alive).count() + connected_remotes
+            }
         }
     }
 
@@ -518,14 +659,25 @@ impl ReplicaGroup {
     /// count — not an error). `Duration::ZERO` makes a single pass.
     pub fn wait(&mut self, lsn: Lsn, numreplicas: usize, timeout: Duration) -> Result<usize> {
         let deadline = Instant::now() + timeout;
+        let members = self.replicas.len()
+            + self
+                .remotes
+                .iter()
+                .filter(|r| r.state.is_connected())
+                .count();
         // Falling short of the ask is the answer (the returned count), but a
         // real storage fault must not masquerade as replication lag.
-        match self.replicate_until(lsn, (numreplicas + 1).min(self.replicas.len()), deadline) {
+        match self.replicate_until(lsn, (numreplicas + 1).min(members), deadline) {
             Ok(_) | Err(Error::NoQuorum { .. }) => {}
             Err(e) => return Err(e),
         }
-        Ok(self
-            .replicas
+        Ok(self.followers_acked(lsn))
+    }
+
+    /// Followers (local and remote, the leader excluded) that have durably
+    /// applied `lsn` — the number a `WAIT` reply reports.
+    pub fn followers_acked(&self, lsn: Lsn) -> usize {
+        self.replicas
             .iter()
             .filter(|r| {
                 r.alive
@@ -533,7 +685,8 @@ impl ReplicaGroup {
                     && !r.needs_full_resync
                     && r.db.last_seq() >= lsn
             })
-            .count())
+            .count()
+            + self.remote_acked(lsn)
     }
 
     /// One non-blocking advance pass toward `lsn`: flush the leader's log and
@@ -559,16 +712,7 @@ impl ReplicaGroup {
             }
         }
         Ok(AdvanceStatus {
-            followers_acked: self
-                .replicas
-                .iter()
-                .filter(|r| {
-                    r.alive
-                        && r.role == Role::Follower
-                        && !r.needs_full_resync
-                        && r.db.last_seq() >= lsn
-                })
-                .count(),
+            followers_acked: self.followers_acked(lsn),
             needs_resync,
         })
     }
@@ -747,7 +891,7 @@ impl ReplicaGroup {
         for r in &mut self.replicas {
             if r.id == winner {
                 r.role = Role::Leader;
-                r.binlog = None;
+                r.transport = None;
             } else {
                 // Everyone else — including the dead ex-leader — becomes a
                 // follower of the winner. Demoting the old leader here is
@@ -766,7 +910,7 @@ impl ReplicaGroup {
                     r.needs_full_resync = true;
                 }
                 r.role = Role::Follower;
-                r.binlog = Some(Binlog::attach(&leader_dir));
+                r.transport = Some(Box::new(Binlog::attach(&leader_dir)));
             }
         }
         // Leadership changed: any in-flight resync copy from the old leader
@@ -800,7 +944,7 @@ impl ReplicaGroup {
             db,
             role: Role::Follower,
             alive: true,
-            binlog: Some(Binlog::attach(&leader_dir)),
+            transport: Some(Box::new(Binlog::attach(&leader_dir))),
             needs_full_resync: false,
             resyncs: 0,
         };
@@ -848,10 +992,10 @@ impl ReplicaGroup {
         }
         let outcome = {
             let r = &mut self.replicas[idx];
-            let Some(binlog) = r.binlog.as_mut() else {
+            let Some(transport) = r.transport.as_mut() else {
                 return Ok(PumpStatus::Idle);
             };
-            binlog.poll()?
+            transport.poll()?
         };
         match outcome {
             Poll::Records(records) => {
@@ -866,6 +1010,14 @@ impl ReplicaGroup {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                }
+                // Acknowledge through the transport: a no-op for the
+                // filesystem binlog (the leader reads `Db::last_seq`
+                // directly), a `REPLCONF ACK` for socket transports whose
+                // leader lives in another process.
+                let lsn = r.db.last_seq();
+                if let Some(t) = r.transport.as_mut() {
+                    t.ack(lsn)?;
                 }
                 Ok(PumpStatus::Applied)
             }
@@ -953,14 +1105,13 @@ impl ReplicaGroup {
             return Err(Error::ResyncSuperseded);
         }
         let dir = self.replicas[idx].dir.clone();
-        std::fs::remove_dir_all(&dir).map_err(StorageError::Io)?;
-        std::fs::rename(&ticket.staging, &dir).map_err(StorageError::Io)?;
+        install_staged(&ticket.staging, &dir)?;
         let db = Arc::new(Db::open(&dir, self.config.db)?);
         let r = &mut self.replicas[idx];
         r.db = db;
         let mut binlog = Binlog::attach(&ticket.leader_dir);
         binlog.seek(info.wal_segment, info.wal_offset);
-        r.binlog = Some(binlog);
+        r.transport = Some(Box::new(binlog));
         r.needs_full_resync = false;
         r.resyncs += 1;
         Ok(())
@@ -1002,7 +1153,7 @@ impl ReplicaGroup {
             db,
             role: Role::Follower,
             alive: true,
-            binlog: Some(binlog),
+            transport: Some(Box::new(binlog)),
             needs_full_resync: false,
             resyncs: 0,
         });
@@ -1061,7 +1212,7 @@ impl ReplicaGroup {
         for r in &mut self.replicas {
             if r.id == to {
                 r.role = Role::Leader;
-                r.binlog = None;
+                r.transport = None;
             } else {
                 // The old leader holds exactly the new leader's history (the
                 // drain above made the LSNs equal before any role changed),
@@ -1073,7 +1224,7 @@ impl ReplicaGroup {
                 if !r.needs_full_resync && r.db.last_seq() >= need {
                     binlog.seek(wal_position.0, wal_position.1);
                 }
-                r.binlog = Some(binlog);
+                r.transport = Some(Box::new(binlog));
             }
         }
         self.epoch += 1;
@@ -1107,11 +1258,67 @@ impl ReplicaGroup {
 
     /// Rebuild a follower from a leader checkpoint (it fell off the log).
     /// Staged: a copy that fails mid-stream leaves the follower untouched on
-    /// its old (valid prefix) state instead of destroying it.
+    /// its old (valid prefix) state instead of destroying it. The transport
+    /// gets first refusal — a socket transport pulls the checkpoint from its
+    /// *remote* leader; filesystem transports return `None` and the staged
+    /// [`ResyncTicket`] copy runs against the local leader instead. Either
+    /// way the gap handling a pump sees is transport-agnostic.
     fn resync_follower(&mut self, id: ReplicaId) -> Result<()> {
+        if self.try_transport_resync(id)? {
+            return Ok(());
+        }
         let ticket = self.begin_resync(id)?;
         let info = ticket.copy()?;
         self.complete_resync(ticket, info)
+    }
+
+    /// Ask the follower's transport to fetch a checkpoint (the cross-process
+    /// resync path); install it through the same staged swap the ticket
+    /// machinery uses. `Ok(false)` when the transport has no fetch side.
+    fn try_transport_resync(&mut self, id: ReplicaId) -> Result<bool> {
+        let config = self.config.db;
+        let idx = self.find_index(id)?;
+        let r = &mut self.replicas[idx];
+        let Some(transport) = r.transport.as_mut() else {
+            return Ok(false);
+        };
+        static STAGING_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let staging = r.dir.with_extension(format!(
+            "resync-net-{}",
+            STAGING_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let Some(info) = transport.fetch_checkpoint(&staging)? else {
+            return Ok(false);
+        };
+        install_staged(&staging, &r.dir)?;
+        r.db = Arc::new(Db::open(&r.dir, config)?);
+        let lsn = r.db.last_seq();
+        if let Some(t) = r.transport.as_mut() {
+            // `fetch_checkpoint` already left the cursor at the checkpoint's
+            // edge (and renegotiated a socket stream); re-seeking would
+            // clobber that negotiation for a redundant PSYNC.
+            debug_assert_eq!(t.position(), Some((info.wal_segment, info.wal_offset)));
+            t.ack(lsn)?;
+        }
+        r.needs_full_resync = false;
+        r.resyncs += 1;
+        Ok(true)
+    }
+
+    /// Replace a follower's log transport (e.g. point it at a leader across
+    /// a socket instead of the shared filesystem). The pump, gap handling,
+    /// and ack accounting are transport-agnostic, so nothing else changes.
+    pub fn set_follower_transport(
+        &mut self,
+        id: ReplicaId,
+        transport: Box<dyn LogTransport>,
+    ) -> Result<()> {
+        let r = self.find_mut(id)?;
+        if r.role != Role::Follower {
+            return Err(Error::MemberIsLeader(id));
+        }
+        r.transport = Some(transport);
+        Ok(())
     }
 
     /// Snapshot of the group's replication state.
@@ -1130,6 +1337,7 @@ impl ReplicaGroup {
                     resyncs: r.resyncs,
                 })
                 .collect(),
+            remote_followers: self.remote_followers(),
         }
     }
 
@@ -1158,6 +1366,19 @@ impl ReplicaGroup {
 /// Directory layout: one subdirectory per (partition, replica).
 pub fn replica_dir(base: &Path, partition: u64, id: ReplicaId) -> PathBuf {
     base.join(format!("p{partition}-r{id}"))
+}
+
+/// The staged install every placement change shares — resync tickets, joins,
+/// and socket followers pulling remote checkpoints: tear out the live
+/// directory and rename the fully staged copy into its place. The staged
+/// tree was written completely before this runs, so a crash between the two
+/// steps loses a replica *copy*, never a prefix of one.
+pub(crate) fn install_staged(staging: &Path, dir: &Path) -> Result<()> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).map_err(StorageError::Io)?;
+    }
+    std::fs::rename(staging, dir).map_err(StorageError::Io)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1695,6 +1916,54 @@ mod tests {
         g.tick().unwrap();
         assert_eq!(g.acked_lsn(10).unwrap(), lsn);
         assert!(g.db(10).unwrap().get(b"post", 0).unwrap().value.is_some());
+    }
+
+    #[test]
+    fn stale_connection_teardown_never_hides_a_reconnected_remote() {
+        let (_d, mut g) = group("remote-gen", WriteConcern::Quorum);
+        let (state1, gen1) = g.register_remote_follower(99).unwrap();
+        state1.record_ack(gen1, 5);
+        // The follower reconnects: the new registration supersedes the old
+        // connection but shares the same state object.
+        let (state2, gen2) = g.register_remote_follower(99).unwrap();
+        assert!(Arc::ptr_eq(&state1, &state2));
+        assert_eq!(state2.acked(), 0, "re-registration resets the watermark");
+        // A pre-reconnect ack drained late from the old socket must not
+        // resurrect the watermark the re-registration just reset.
+        state1.record_ack(gen1, 100);
+        assert_eq!(
+            state2.acked(),
+            0,
+            "stale-generation ack resurrected the watermark"
+        );
+        state2.record_ack(gen2, 7);
+        // The superseded connection dies late (partitioned socket finally
+        // erroring): its teardown must not mark the live connection down.
+        state1.disconnect(gen1);
+        assert!(state2.is_connected(), "stale teardown hid a live follower");
+        // Locals sit at LSN 0; only the (still-connected) remote covers 7.
+        assert_eq!(g.acked_count(7), 1, "live remote stopped counting");
+        // The live connection's own teardown does disconnect.
+        state2.disconnect(gen2);
+        assert!(!state2.is_connected());
+    }
+
+    #[test]
+    fn disconnected_remotes_leave_the_quorum_denominator() {
+        let (_d, mut g) = group("remote-quorum", WriteConcern::Quorum);
+        assert_eq!(g.commit_need(), 2); // 3 locals
+        let (state, generation) = g.register_remote_follower(99).unwrap();
+        assert_eq!(g.commit_need(), 3); // 3 locals + 1 connected remote
+                                        // A departed follower must not inflate the quorum forever (an
+                                        // anonymous follower reconnecting under fresh ids would otherwise
+                                        // grow the denominator until writes can never commit).
+        state.disconnect(generation);
+        assert_eq!(g.commit_need(), 2);
+        // Registration prunes disconnected strangers from the registry.
+        let _ = g.register_remote_follower(98).unwrap();
+        let remotes = g.remote_followers();
+        assert_eq!(remotes.len(), 1);
+        assert_eq!(remotes[0].0, 98);
     }
 
     #[test]

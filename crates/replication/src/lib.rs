@@ -51,6 +51,8 @@
 pub mod binlog;
 pub mod failover;
 pub mod group;
+pub mod socket;
+pub mod transport;
 
 pub use binlog::{Binlog, Poll};
 pub use failover::{
@@ -58,9 +60,14 @@ pub use failover::{
     Throttle,
 };
 pub use group::{
-    AdvanceStatus, GroupConfig, GroupStatus, PumpStatus, ReadConsistency, ReplicaGroup, ReplicaId,
-    ReplicaStatus, ResyncTicket, Role, RoutedRead, WriteConcern,
+    AdvanceStatus, GroupConfig, GroupStatus, PumpStatus, ReadConsistency, RemoteFollowerState,
+    ReplicaGroup, ReplicaId, ReplicaStatus, ResyncTicket, Role, RoutedRead, WriteConcern,
 };
+pub use socket::{
+    serve_group_replica, serve_replica_stream, FollowerPump, ReplicaSource, SocketFollower,
+    SocketTransport,
+};
+pub use transport::LogTransport;
 
 /// Replication log sequence number — the storage engine's record `seq`.
 pub type Lsn = u64;
@@ -107,6 +114,11 @@ pub enum Error {
     /// A membership removal targeted the live leader — hand leadership over
     /// first (`ReplicaGroup::handover`), then retire the member.
     MemberIsLeader(u32),
+    /// The socket transport failed: unreachable leader during a mandatory
+    /// exchange, a malformed or hostile frame, or a timed-out checkpoint
+    /// fetch. Transient link loss is *not* an error (polls report no
+    /// progress and reconnect); this is for failures the caller must see.
+    Transport(String),
 }
 
 impl std::fmt::Display for Error {
@@ -138,6 +150,7 @@ impl std::fmt::Display for Error {
             Error::MemberIsLeader(id) => {
                 write!(f, "replica {id} leads the group; hand over before removal")
             }
+            Error::Transport(msg) => write!(f, "transport: {msg}"),
         }
     }
 }

@@ -55,6 +55,19 @@ pub enum FaultAction {
     /// Force a binlog gap: the tailing cursor pretends its segment was
     /// rotated away, pushing the follower into a full resync.
     Gap,
+    /// Discard an outbound replication frame after the sender's cursor
+    /// advanced — the receiver sees a hole in the LSN stream and must detect
+    /// it (and full-resync) rather than silently diverge.
+    Drop,
+    /// Send an outbound replication frame twice; at-least-once delivery, so
+    /// the receiver's apply path must dedup.
+    Duplicate,
+    /// Hold an outbound replication frame and send it *after* the next one —
+    /// out-of-order delivery the receiver must detect as a gap.
+    Reorder,
+    /// Sever the connection at this site (network partition): the socket is
+    /// shut down and the peer must reconnect and resume via its cursor.
+    Disconnect,
 }
 
 /// One installed rule: fires `count` times at `point` (after skipping the

@@ -1,67 +1,183 @@
 //! Standalone ABase node: a RESP2 server over the LSM engine.
 //!
-//! Usage: `cargo run --release --bin abase-server -- [addr] [data-dir] [replicas]`
-//! (defaults: 127.0.0.1:7379, ./abase-data, 1). Connect with any Redis
+//! Usage: `cargo run --release --bin abase-server -- [addr] [data-dir] [mode]`
+//! (defaults: 127.0.0.1:7379, ./abase-data, plain). Connect with any Redis
 //! client; `AUTH <tenant-id>` selects the tenant namespace.
 //!
-//! With `replicas > 1` the node fronts a local WAL-shipping replica group:
-//! writes commit under the group's write concern, `WAIT` fences on follower
-//! acks, and `CONSISTENCY eventual|readyourwrites` routes the connection's
-//! GETs to follower replicas (LSN-fenced for `readyourwrites`).
+//! The third argument selects the node's replication role:
+//!
+//! * *(absent)* or `1` — plain unreplicated node.
+//! * `<n>` (n > 1) — front a **local** WAL-shipping replica group of `n`
+//!   replicas: writes commit under the group's write concern, `WAIT` fences
+//!   on follower acks, `CONSISTENCY eventual|readyourwrites` routes GETs to
+//!   follower replicas.
+//! * `leader` — lead a **cross-process** replica group: a single local
+//!   replica that accepts `REPLCONF`/`PSYNC` follower connections on the
+//!   RESP port. Quorum spans this process and every registered follower.
+//! * `follow <leader-addr> [replica-id]` — run as a socket follower of the
+//!   leader at `leader-addr`: pull a checkpoint (`PSYNC`), tail its WAL over
+//!   the socket, ack via `REPLCONF ACK`, and serve **read-only** RESP
+//!   traffic from the replicated store. The optional positional
+//!   `replica-id` (default 2) names this follower in the leader's
+//!   accounting.
+//!
+//! Two terminals make a replica group:
+//!
+//! ```text
+//! abase-server 127.0.0.1:7379 ./leader-data leader
+//! abase-server 127.0.0.1:7380 ./follower-data follow 127.0.0.1:7379
+//! ```
 
 use abase::core::{ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
-use abase::replication::{GroupConfig, ReplicaGroup, WriteConcern};
+use abase::replication::{FollowerPump, GroupConfig, ReplicaGroup, SocketFollower, WriteConcern};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7379".to_string());
-    let dir = args.next().unwrap_or_else(|| "./abase-data".to_string());
-    let replicas: u32 = args.next().map(|r| r.parse()).transpose()?.unwrap_or(1);
-    let (engine, group) = if replicas > 1 {
-        let ids: Vec<u32> = (1..=replicas).collect();
-        let group = ReplicaGroup::bootstrap(
-            0,
-            &dir,
-            &ids,
-            GroupConfig::new(WriteConcern::Quorum, DbConfig::default()),
-        )?;
-        let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
-        (engine, Some(Arc::new(Mutex::new(group))))
-    } else {
-        (
-            Arc::new(TableEngine::open(&dir, DbConfig::default())?),
-            None,
-        )
-    };
-    let mut server = RespServer::bind(Arc::clone(&engine), &addr)?;
-    if let Some(group) = &group {
-        server = server.with_replication(Arc::clone(group) as Arc<dyn ReplicationControl>);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7379".to_string());
+    let dir = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "./abase-data".to_string());
+    let mode = args.get(2).map(String::as_str).unwrap_or("1");
+    match mode {
+        "follow" => {
+            let leader = args
+                .get(3)
+                .cloned()
+                .ok_or("follow mode needs the leader address: ... follow <addr>")?;
+            let replica_id: u32 = args.get(4).map(|r| r.parse()).transpose()?.unwrap_or(2);
+            run_follower(&addr, &dir, &leader, replica_id)
+        }
+        "leader" => run_replicated(&addr, &dir, 1, true),
+        n => {
+            let replicas: u32 = n.parse()?;
+            if replicas > 1 {
+                run_replicated(&addr, &dir, replicas, false)
+            } else {
+                run_plain(&addr, &dir)
+            }
+        }
     }
+}
+
+fn run_plain(addr: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Arc::new(TableEngine::open(dir, DbConfig::default())?);
+    let server = RespServer::bind(Arc::clone(&engine), addr)?;
     println!(
-        "abase-server listening on {} (data in {dir}, {replicas} replica(s))",
+        "abase-server listening on {} (data in {dir}, unreplicated)",
         server.local_addr()?
+    );
+    spawn_clock(server.clock(), move || {
+        let _ = engine.db().flush_wal();
+    });
+    server.run()?;
+    Ok(())
+}
+
+/// A replica-group leader: `local_replicas` in-process members, plus — when
+/// `accept_remote` — `PSYNC` followers from other processes.
+fn run_replicated(
+    addr: &str,
+    dir: &str,
+    local_replicas: u32,
+    accept_remote: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let ids: Vec<u32> = (1..=local_replicas).collect();
+    let group = ReplicaGroup::bootstrap(
+        0,
+        dir,
+        &ids,
+        GroupConfig::new(WriteConcern::Quorum, DbConfig::default()),
+    )?;
+    let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
+    let group = Arc::new(Mutex::new(group));
+    let server = RespServer::bind(Arc::clone(&engine), addr)?
+        .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+    println!(
+        "abase-server listening on {} (data in {dir}, {} local replica(s){})",
+        server.local_addr()?,
+        local_replicas,
+        if accept_remote {
+            ", accepting PSYNC followers"
+        } else {
+            ""
+        }
     );
     // Drive virtual time from the wall clock (microseconds since start), and
     // flush the WAL to the OS on the same cadence: appends sit in a buffered
     // writer, so without this a SIGKILL could lose an unbounded number of
     // acknowledged writes. This bounds the loss window to one tick (fsync
     // per append is the `sync_wal` config for machines that need zero loss).
-    // With a replica group attached the same cadence pumps the followers, so
-    // `CONSISTENCY eventual` reads converge without a client-issued WAIT.
-    let clock = server.clock();
-    let started = std::time::Instant::now();
-    std::thread::spawn(move || loop {
-        clock.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+    // The same cadence pumps local followers, so `CONSISTENCY eventual`
+    // reads converge without a client-issued WAIT; remote followers are
+    // pumped by their own connection threads.
+    spawn_clock(server.clock(), move || {
         let _ = engine.db().flush_wal();
-        if let Some(group) = &group {
-            let _ = group.lock().tick();
-        }
-        std::thread::sleep(std::time::Duration::from_millis(100));
+        let _ = group.lock().tick();
     });
     server.run()?;
     Ok(())
+}
+
+/// A socket follower: read-only RESP server over a store kept in sync by
+/// pumping the leader's PSYNC stream.
+fn run_follower(
+    addr: &str,
+    dir: &str,
+    leader: &str,
+    replica_id: u32,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let listening_port: u16 = addr
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+    let mut follower =
+        SocketFollower::connect(dir, DbConfig::default(), leader, replica_id, listening_port)?;
+    let engine = Arc::new(TableEngine::from_db(follower.db()));
+    let server = RespServer::bind(Arc::clone(&engine), addr)?.read_only();
+    println!(
+        "abase-server listening on {} (data in {dir}, following {leader} as replica {replica_id}, read-only)",
+        server.local_addr()?
+    );
+    spawn_clock(server.clock(), || {});
+    // The pump runs on its own fast cadence — commit latency on the leader
+    // is bounded by how quickly this loop acks, not by the 100 ms clock.
+    std::thread::spawn(move || loop {
+        match follower.pump() {
+            // A full resync replaced the store wholesale: the serving engine
+            // switches to the fresh handle.
+            Ok(FollowerPump::Resynced) => engine.swap_db(follower.db()),
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("follower pump: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    });
+    server.run()?;
+    Ok(())
+}
+
+/// The 100 ms housekeeping tick every mode shares: advance the virtual
+/// clock, then run the mode's own upkeep (WAL flush, group tick, or
+/// follower pump).
+fn spawn_clock(
+    clock: Arc<std::sync::atomic::AtomicU64>,
+    mut upkeep: impl FnMut() + Send + 'static,
+) {
+    let started = std::time::Instant::now();
+    std::thread::spawn(move || loop {
+        clock.store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        upkeep();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
 }

@@ -24,6 +24,15 @@ use abase_chaos::{ChaosConfig, ChaosRunner, FaultPlan};
 /// migrations with node kills and stays pinned for that interleaving.
 const PINNED_SEEDS: &[u64] = &[2, 7, 9, 13, 21, 31, 48, 49, 7020];
 
+/// Socket-transport pinned seeds (frame chaos over a real TCP replica
+/// pair). Seed 400 caught the reorder-wedge: a reorder-held frame was never
+/// flushed once the stream went idle, starving a parked `WAIT` forever.
+/// Seeds 404 and 407 caught the drop-wedge: a dropped frame leaves a hole
+/// the follower can only notice when more traffic flows, so an idle stream
+/// never recovered — fixed by the leader's `PING <lsn>` keepalive, which
+/// lets a trailing follower detect the loss and full-resync.
+const PINNED_SOCKET_SEEDS: &[u64] = &[400, 404, 407];
+
 #[test]
 fn pinned_regression_seeds_stay_green() {
     let runner = ChaosRunner::new(ChaosConfig::default());
@@ -90,6 +99,38 @@ fn pinned_regression_seeds_stay_green() {
     assert!(
         migrations_aborted >= 2,
         "no pinned episode aborted a faulted migration: {migrations_aborted}"
+    );
+    // Socket-transport episodes share the same global fail-point registry,
+    // so they run here, after the cluster episodes, still sequentially.
+    let mut socket_failures = Vec::new();
+    let mut socket_faults = 0u64;
+    let mut socket_resyncs = 0u64;
+    for &seed in PINNED_SOCKET_SEEDS {
+        let report = abase_chaos::run_socket_episode(seed);
+        socket_faults += report.faults_armed;
+        socket_resyncs += report.resyncs;
+        for violation in &report.violations {
+            eprintln!("CHAOS_SEED={seed} (socket): {violation}");
+        }
+        if !report.ok() {
+            socket_failures.push(seed);
+        }
+    }
+    assert!(
+        socket_failures.is_empty(),
+        "pinned socket chaos seeds regressed: {socket_failures:?} (replay \
+         with `cargo run -p abase-chaos -- --episodes 0 --socket-episodes 1 \
+         --seed <n>`)"
+    );
+    // Non-vacuity: the pinned trio must really bend the frame stream and
+    // force checkpoint recoveries.
+    assert!(
+        socket_faults >= 6,
+        "pinned socket episodes armed too few frame faults: {socket_faults}"
+    );
+    assert!(
+        socket_resyncs >= 2,
+        "pinned socket episodes never recovered via FULLRESYNC: {socket_resyncs}"
     );
 }
 
