@@ -115,6 +115,10 @@ pub struct EpisodeReport {
     pub resyncs: u64,
     /// Fault events armed from the plan.
     pub faults_armed: usize,
+    /// Fail points that actually fired, with counts — accumulated across the
+    /// episode's attribution resets (the registry itself is cleared at every
+    /// kill), so the report can say which injected faults did real damage.
+    pub faults_fired: BTreeMap<String, u64>,
     /// Invariant violations (empty = episode green).
     pub violations: Vec<String>,
 }
@@ -249,6 +253,7 @@ impl ChaosRunner {
             kills: 0,
             resyncs: 0,
             faults_armed: plan.events.len(),
+            faults_fired: BTreeMap::new(),
             violations: Vec::new(),
         };
         let mut active = ActiveFaults::default();
@@ -391,6 +396,7 @@ impl ChaosRunner {
         }
 
         // Quiesce: drop every remaining rule and let followers converge.
+        harvest_fired(&mut report);
         failpoint::clear();
         active = ActiveFaults::default();
         let _ = &active;
@@ -402,7 +408,31 @@ impl ChaosRunner {
             }
         }
         self.check_final_invariants(&mut cluster, &keys, &mut report);
+        self.check_metrics_invariants(&cluster, &mut report);
         report
+    }
+
+    /// Invariant 7 (metrics-derived): the observability registry must agree
+    /// with the episode's own bookkeeping. Every full resync a group records
+    /// also increments `abase_repl_resyncs_total`, and counters are global
+    /// and monotone, so the registry's growth since this cluster was built
+    /// can never be *below* the resyncs still visible in surviving group
+    /// state — a shortfall means an instrumentation regression (a resync
+    /// path that skips the counter), which is exactly what fault attribution
+    /// would later mis-blame on the workload.
+    fn check_metrics_invariants(&self, cluster: &ReplicatedCluster, report: &mut EpisodeReport) {
+        if !abase_obs::enabled() {
+            return;
+        }
+        let delta = cluster.metrics_delta();
+        let counted = delta.counter("abase_repl_resyncs_total");
+        if counted < report.resyncs {
+            report.violations.push(format!(
+                "METRICS UNDERCOUNT: registry saw {counted} resyncs but surviving group \
+                 state shows {} — a resync path is missing its counter",
+                report.resyncs
+            ));
+        }
     }
 
     /// Install a plan event into the cluster / fail-point registry.
@@ -563,6 +593,7 @@ impl ChaosRunner {
         // (and is removed) at the same call that fires it, so a lingering
         // entry always refers to a not-yet-fired rule that no longer exists —
         // keeping it would let a later *genuine* bug masquerade as injected.
+        harvest_fired(report);
         failpoint::clear();
         *active = ActiveFaults::default();
         match cluster.kill_node(node) {
@@ -856,6 +887,16 @@ fn check_ryw(
         Err(e) => report.violations.push(format!(
             "fenced read of {key} at acked lsn {lsn} failed: {e}"
         )),
+    }
+}
+
+/// Fold the injector's current fired counts into the report. Must be called
+/// immediately before any `failpoint::clear()` (which zeroes them) — the
+/// counts are cumulative-since-last-clear, so harvesting anywhere else would
+/// double count.
+fn harvest_fired(report: &mut EpisodeReport) {
+    for (point, fired) in failpoint::fired_counts() {
+        *report.faults_fired.entry(point.to_string()).or_default() += fired;
     }
 }
 

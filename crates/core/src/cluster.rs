@@ -407,6 +407,12 @@ pub struct ReplicatedCluster {
     migrations: MigrationEngine,
     /// RU pricing for the per-replica split ledger.
     ru: RuEstimator,
+    /// Registry snapshot taken at construction — the baseline
+    /// [`ReplicatedCluster::metrics_delta`] subtracts, so one process can
+    /// run many clusters and still ask "what did *this* one do".
+    obs_baseline: abase_obs::Snapshot,
+    /// Registry snapshot refreshed by each [`ReplicatedCluster::tick`].
+    obs_last: abase_obs::Snapshot,
 }
 
 /// One routed cluster read, with serving provenance.
@@ -446,7 +452,22 @@ impl ReplicatedCluster {
             router: ReadRouter::new(config.router),
             migrations: MigrationEngine::new(config.migration),
             ru: RuEstimator::default(),
+            obs_baseline: abase_obs::snapshot(),
+            obs_last: abase_obs::Snapshot::default(),
         }
+    }
+
+    /// The registry snapshot captured by the last [`ReplicatedCluster::tick`]
+    /// (empty before the first tick).
+    pub fn metrics(&self) -> &abase_obs::Snapshot {
+        &self.obs_last
+    }
+
+    /// Monotone-counter growth since this cluster was constructed. Counters
+    /// are process-global, so the delta over-counts when other clusters run
+    /// concurrently — `≥` assertions stay safe, equalities do not.
+    pub fn metrics_delta(&self) -> abase_obs::Snapshot {
+        abase_obs::snapshot().delta(&self.obs_baseline)
     }
 
     /// Nodes currently alive, ascending.
@@ -739,6 +760,12 @@ impl ReplicatedCluster {
         let partitions: Vec<PartitionId> = self.groups.keys().copied().collect();
         for partition in partitions {
             self.sync_replica_state(partition);
+        }
+        // Observability hook: each tick republishes the registry view, so
+        // anything driving the cluster can read a fresh snapshot without
+        // knowing about the registry itself.
+        if abase_obs::enabled() {
+            self.obs_last = abase_obs::snapshot();
         }
         Ok(())
     }

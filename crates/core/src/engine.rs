@@ -159,6 +159,17 @@ impl TableEngine {
                 bytes_returned: 2,
                 from_memtable: true,
             }),
+            // Observability commands are answered by the server front end
+            // (which owns the registry snapshot and per-server slowlog);
+            // a bare engine has nothing to report.
+            Command::Info { .. } | Command::Slowlog { .. } | Command::Metrics => Ok(ExecOutcome {
+                reply: RespValue::Error(
+                    "ERR observability commands are served by the RESP front end".into(),
+                ),
+                io_ops: 0,
+                bytes_returned: 0,
+                from_memtable: true,
+            }),
             Command::Get { key } => {
                 let r = db.get(&Self::string_key(tenant, key), now)?;
                 Ok(Self::bulk_outcome(r))

@@ -42,6 +42,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod meta;
+pub mod metrics;
 pub mod migration;
 pub mod node;
 pub mod oncall;
@@ -63,5 +64,5 @@ pub use migration::{
 pub use node::{DataNodeConfig, DataNodeSim, ReplicaRuSplit};
 pub use proxy::{ProxyPlane, ProxyPlaneConfig, ProxyReadSplit};
 pub use router::{ReadRouter, ReadRouterConfig, RouteDecision, RouterStats};
-pub use server::{ReplicationControl, RespServer};
+pub use server::{ReplInfo, ReplicationControl, RespServer};
 pub use types::{ConsistencyLevel, NodeId, PartitionId, ProxyId, TenantId};

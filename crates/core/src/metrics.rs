@@ -1,0 +1,95 @@
+//! Core-layer metric declarations: RESP serving, proxy cache, per-tenant RU
+//! split, and migration. Recording sites live in `server.rs`, `proxy.rs`,
+//! `migration.rs`, and `cluster.rs`; this module only owns the handles.
+
+use abase_obs::{LazyCounter, LazyCounterFamily, LazyGauge, LazyHisto, LazyHistoFamily};
+
+// --- RESP serving -----------------------------------------------------------
+
+/// Live client connections on the RESP server.
+pub static CONNECTIONS: LazyGauge = LazyGauge::new(
+    "abase_server_connections",
+    "Live client connections on the RESP server",
+);
+
+/// Commands served, by command name.
+pub static COMMANDS: LazyCounterFamily = LazyCounterFamily::new(
+    "abase_server_commands_total",
+    "command",
+    "Commands served, by command name",
+);
+
+/// Commands answered with an error, by command name.
+pub static COMMAND_ERRORS: LazyCounterFamily = LazyCounterFamily::new(
+    "abase_server_command_errors_total",
+    "command",
+    "Commands answered with an error, by command name",
+);
+
+/// End-to-end command service latency, by command name.
+pub static COMMAND_MICROS: LazyHistoFamily = LazyHistoFamily::new(
+    "abase_server_command_micros",
+    "command",
+    "End-to-end command service latency, by command name",
+);
+
+/// Read RUs charged, by tenant (table).
+pub static TENANT_READ_RU: LazyCounterFamily = LazyCounterFamily::new(
+    "abase_tenant_read_ru_total",
+    "tenant",
+    "Read request units charged, by tenant",
+);
+
+/// Write RUs charged, by tenant (table).
+pub static TENANT_WRITE_RU: LazyCounterFamily = LazyCounterFamily::new(
+    "abase_tenant_write_ru_total",
+    "tenant",
+    "Write request units charged, by tenant",
+);
+
+// --- Proxy plane ------------------------------------------------------------
+
+/// Reads answered from a proxy's AU-LRU cache.
+pub static PROXY_CACHE_HITS: LazyCounter = LazyCounter::new(
+    "abase_proxy_cache_hits_total",
+    "Reads answered from the proxy AU-LRU cache",
+);
+
+/// Reads forwarded by proxies to the data plane.
+pub static PROXY_FORWARDS: LazyCounter = LazyCounter::new(
+    "abase_proxy_forwards_total",
+    "Reads forwarded by proxies to the data plane",
+);
+
+// --- Migration --------------------------------------------------------------
+
+/// Partition migrations completed through cut-over.
+pub static MIGRATIONS_COMPLETED: LazyCounter = LazyCounter::new(
+    "abase_migration_completed_total",
+    "Partition migrations completed through cut-over",
+);
+
+/// Partition migrations aborted (source/destination death, staging failure).
+pub static MIGRATIONS_ABORTED: LazyCounter = LazyCounter::new(
+    "abase_migration_aborted_total",
+    "Partition migrations aborted before cut-over",
+);
+
+/// Bytes copied by migration staged checkpoints.
+pub static MIGRATION_COPIED_BYTES: LazyCounter = LazyCounter::new(
+    "abase_migration_copied_bytes_total",
+    "Bytes copied by migration staged checkpoints",
+);
+
+/// Migration phase durations, labelled by phase (`copy`, `catch_up`).
+pub static MIGRATION_PHASE_MICROS: LazyHistoFamily = LazyHistoFamily::new(
+    "abase_migration_phase_micros",
+    "phase",
+    "Migration phase durations, by phase",
+);
+
+/// WAIT fence latency on the serving path (replication-wait stage).
+pub static WAIT_MICROS: LazyHisto = LazyHisto::new(
+    "abase_server_wait_micros",
+    "WAIT replication-fence latency on the serving path",
+);

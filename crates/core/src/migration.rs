@@ -253,6 +253,8 @@ impl MigrationEngine {
 
     /// The staged copy completed and the destination joined the group.
     pub(crate) fn note_joined(&mut self, req: MigrationRequest, bytes_copied: u64, copy_secs: f64) {
+        crate::metrics::MIGRATION_COPIED_BYTES.add(bytes_copied);
+        crate::metrics::MIGRATION_PHASE_MICROS.record("copy", (copy_secs * 1e6) as u64);
         self.inflight.push(ActiveMigration {
             req,
             joined_at_tick: self.tick,
@@ -272,6 +274,7 @@ impl MigrationEngine {
             let active = self.inflight.remove(pos);
             self.busy.remove(&req.from);
             self.busy.remove(&req.to);
+            crate::metrics::MIGRATIONS_COMPLETED.inc();
             self.completed.push(MigrationReport {
                 req,
                 bytes_copied: active.bytes_copied,
@@ -295,6 +298,7 @@ impl MigrationEngine {
             self.busy.remove(&req.from);
             self.busy.remove(&req.to);
         }
+        crate::metrics::MIGRATIONS_ABORTED.inc();
         self.aborted.push(AbortedMigration {
             req,
             reason: reason.into(),
@@ -307,6 +311,7 @@ impl MigrationEngine {
     pub(crate) fn note_staging_failed(&mut self, req: MigrationRequest, reason: impl Into<String>) {
         self.busy.remove(&req.from);
         self.busy.remove(&req.to);
+        crate::metrics::MIGRATIONS_ABORTED.inc();
         self.aborted.push(AbortedMigration {
             req,
             reason: reason.into(),

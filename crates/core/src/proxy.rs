@@ -225,6 +225,7 @@ impl ProxyPlane {
         let cacheable = !is_write && consistency == ConsistencyLevel::Eventual;
         if cacheable && self.config.cache_enabled && p.cache.get(&key, now).is_some() {
             p.reads_local += 1;
+            crate::metrics::PROXY_CACHE_HITS.inc();
             return ProxyDecision::CacheHit { proxy };
         }
         if is_write && self.config.cache_enabled {
@@ -246,6 +247,7 @@ impl ProxyPlane {
         }
         if !is_write {
             p.reads_forwarded += 1;
+            crate::metrics::PROXY_FORWARDS.inc();
         }
         ProxyDecision::Forward { proxy }
     }

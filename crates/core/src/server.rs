@@ -23,8 +23,10 @@
 //! only `leader` reads pin to the leader replica.
 
 use crate::engine::TableEngine;
+use crate::metrics;
 use crate::types::ConsistencyLevel;
-use abase_proto::{Command, RespValue};
+use abase_obs::{SlowLog, Span, Stage, Timer};
+use abase_proto::{Command, RespValue, SlowlogSub};
 use abase_replication::{
     socket, ReadConsistency, RemoteFollowerState, ReplicaGroup, ReplicaSource,
 };
@@ -39,6 +41,37 @@ use std::time::{Duration, Instant};
 /// server never parks a connection forever on a dead follower, it parks it
 /// for at most this long and replies with the acks reached.
 pub const WAIT_UNBOUNDED_CAP: Duration = Duration::from_secs(30);
+
+/// Replication identity as reported by `INFO replication` — built by the
+/// attached replication plane on a leader, or by a provider closure a
+/// follower-mode server installs via [`RespServer::with_repl_info`] (the
+/// follower's pump loop owns the link state the server cannot see).
+#[derive(Debug, Clone)]
+pub struct ReplInfo {
+    /// `leader`, `follower`, or `none`.
+    pub role: &'static str,
+    /// Highest LSN durably applied locally (leader: the log head; follower:
+    /// what the replication stream has applied).
+    pub last_lsn: u64,
+    /// The leader's address, from a follower's point of view.
+    pub leader_addr: Option<String>,
+    /// Replication-link status: `up`, `down`, or `n/a` (no link to keep).
+    pub link_status: &'static str,
+    /// Leader side: `(replica id, acked LSN, connected)` per known follower.
+    pub followers: Vec<(u32, u64, bool)>,
+}
+
+impl Default for ReplInfo {
+    fn default() -> Self {
+        Self {
+            role: "none",
+            last_lsn: 0,
+            leader_addr: None,
+            link_status: "n/a",
+            followers: Vec::new(),
+        }
+    }
+}
 
 /// What `WAIT` needs from a replication plane. Implemented for a locked
 /// [`ReplicaGroup`]; custom planes (tests, future geo-replication) can
@@ -96,6 +129,16 @@ pub trait ReplicationControl: Send + Sync {
             "this replication plane does not accept remote followers (replica {id})"
         ))
     }
+
+    /// What `INFO replication` reports for this plane. The default describes
+    /// a leader with no per-follower detail; planes that know more override.
+    fn repl_info(&self) -> ReplInfo {
+        ReplInfo {
+            role: "leader",
+            last_lsn: self.last_lsn().unwrap_or(0),
+            ..ReplInfo::default()
+        }
+    }
 }
 
 impl ReplicationControl for Mutex<ReplicaGroup> {
@@ -125,6 +168,27 @@ impl ReplicationControl for Mutex<ReplicaGroup> {
         self.lock()
             .register_remote_follower(id)
             .map_err(|e| e.to_string())
+    }
+
+    fn repl_info(&self) -> ReplInfo {
+        let group = self.lock();
+        let leader = group.leader();
+        let mut followers: Vec<(u32, u64, bool)> = group
+            .members()
+            .into_iter()
+            .filter(|&id| Some(id) != leader)
+            .map(|id| (id, group.acked_lsn(id).unwrap_or(0), group.is_alive(id)))
+            .collect();
+        for (id, lsn, connected) in group.remote_followers() {
+            followers.push((id, lsn, connected));
+        }
+        ReplInfo {
+            role: "leader",
+            last_lsn: group.leader_db().map(|db| db.last_seq()).unwrap_or(0),
+            leader_addr: None,
+            link_status: "n/a",
+            followers,
+        }
     }
 
     fn read_routed(
@@ -214,6 +278,14 @@ pub struct RespServer {
     /// Refuse client writes (a follower replica's server: its store is
     /// written exclusively by the replication stream).
     read_only: bool,
+    /// This server's SLOWLOG ring (per instance, not process-global: embedded
+    /// tests run many servers in one process).
+    slowlog: Arc<SlowLog>,
+    /// `INFO replication` provider overriding the plane's own view — used by
+    /// follower-mode servers whose link state lives in the pump loop.
+    repl_info: Option<Arc<dyn Fn() -> ReplInfo + Send + Sync>>,
+    /// When the server was bound (`INFO server` uptime).
+    started: Instant,
 }
 
 impl RespServer {
@@ -227,6 +299,9 @@ impl RespServer {
             clock_micros: Arc::new(AtomicU64::new(0)),
             replication: None,
             read_only: false,
+            slowlog: Arc::new(SlowLog::default()),
+            repl_info: None,
+            started: Instant::now(),
         })
     }
 
@@ -234,6 +309,19 @@ impl RespServer {
     pub fn with_replication(mut self, replication: Arc<dyn ReplicationControl>) -> Self {
         self.replication = Some(replication);
         self
+    }
+
+    /// Install the `INFO replication` provider (follower mode: the pump loop
+    /// owns role, applied LSN, leader address, and link status).
+    pub fn with_repl_info(mut self, provider: Arc<dyn Fn() -> ReplInfo + Send + Sync>) -> Self {
+        self.repl_info = Some(provider);
+        self
+    }
+
+    /// This server's SLOWLOG (shared with every connection; retune its
+    /// threshold through the handle).
+    pub fn slowlog(&self) -> Arc<SlowLog> {
+        Arc::clone(&self.slowlog)
     }
 
     /// Refuse client writes with `-READONLY` (follower replicas: the store
@@ -272,12 +360,17 @@ impl RespServer {
             // Request/reply and replica-stream traffic are both small-frame;
             // Nagle + delayed-ACK would add tens of ms per exchange.
             stream.set_nodelay(true).ok();
-            let engine = Arc::clone(&self.engine);
-            let clock = Arc::clone(&self.clock_micros);
-            let replication = self.replication.clone();
-            let read_only = self.read_only;
+            let ctx = ConnCtx {
+                engine: Arc::clone(&self.engine),
+                clock: Arc::clone(&self.clock_micros),
+                replication: self.replication.clone(),
+                read_only: self.read_only,
+                slowlog: Arc::clone(&self.slowlog),
+                repl_info: self.repl_info.clone(),
+                started: self.started,
+            };
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, engine, clock, replication, read_only);
+                let _ = serve_connection(stream, ctx);
             });
         }
         Ok(())
@@ -292,6 +385,14 @@ impl RespServer {
 #[derive(Debug, Clone, Copy, Default)]
 struct ConnState {
     tenant: u32,
+    /// RU counters for `tenant`, resolved on first charge and reused until
+    /// the tenant changes (AUTH) — keeps the family probe and the tenant
+    /// label allocation off the per-command path.
+    ru_metrics: Option<(
+        u32,
+        &'static abase_obs::Counter,
+        &'static abase_obs::Counter,
+    )>,
     consistency: ConsistencyLevel,
     /// Highest LSN this connection's writes reached — what a
     /// `readyourwrites` read fences on, and the fence `WAIT` enforces.
@@ -303,16 +404,37 @@ struct ConnState {
     listening_port: Option<u16>,
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
+/// Everything one connection's dispatcher needs, bundled so the serving path
+/// has a single context argument.
+struct ConnCtx {
     engine: Arc<TableEngine>,
     clock: Arc<AtomicU64>,
     replication: Option<Arc<dyn ReplicationControl>>,
     read_only: bool,
-) -> std::io::Result<()> {
+    slowlog: Arc<SlowLog>,
+    repl_info: Option<Arc<dyn Fn() -> ReplInfo + Send + Sync>>,
+    started: Instant,
+}
+
+fn serve_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
+    metrics::CONNECTIONS.add(1);
+    let result = serve_frames(stream, &ctx);
+    metrics::CONNECTIONS.add(-1);
+    result
+}
+
+fn serve_frames(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
     let mut buffer: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     let mut state = ConnState::default();
+    // Count/latency handles for the last-seen command label. Labels are
+    // `&'static str`s from a bounded set and workloads repeat commands, so
+    // one pointer compare replaces two family probes on almost every op.
+    let mut cmd_metrics: Option<(
+        &'static str,
+        &'static abase_obs::Counter,
+        &'static abase_obs::Histo,
+    )> = None;
     loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
@@ -321,6 +443,9 @@ fn serve_connection(
         buffer.extend_from_slice(&chunk[..n]);
         // Drain as many complete frames as arrived.
         loop {
+            // The span opens in its Parse stage; an incomplete frame just
+            // drops it unfinished (nothing recorded).
+            let mut span = Span::begin();
             let parsed = match RespValue::parse(&buffer) {
                 Ok(Some((value, used))) => Some((value, used)),
                 Ok(None) => None,
@@ -340,7 +465,7 @@ fn serve_connection(
             // never returns to the command loop (the socket now carries
             // BATCH/FILE frames one way and REPLCONF ACKs the other).
             if let (Ok(Command::PSync { position }), Some(repl)) =
-                (&command, replication.as_deref())
+                (&command, ctx.replication.as_deref())
             {
                 return serve_replica_connection(
                     stream,
@@ -350,18 +475,76 @@ fn serve_connection(
                     repl,
                 );
             }
-            let reply = dispatch(
-                &value,
-                command,
-                &engine,
-                &clock,
-                &mut state,
-                replication.as_deref(),
-                read_only,
-            );
+            let label = command_label(&value, &command);
+            span.enter(Stage::Admission);
+            let reply = dispatch(&value, command, &mut state, &mut span, ctx);
+            span.enter(Stage::Respond);
             stream.write_all(&reply.to_bytes())?;
+            if abase_obs::enabled() {
+                let (count, micros) = match cmd_metrics {
+                    Some((cached, c, h)) if std::ptr::eq(cached, label) => (c, h),
+                    _ => {
+                        let c = metrics::COMMANDS.with(label);
+                        let h = metrics::COMMAND_MICROS.with(label);
+                        cmd_metrics = Some((label, c, h));
+                        (c, h)
+                    }
+                };
+                count.inc();
+                if matches!(reply, RespValue::Error(_)) {
+                    metrics::COMMAND_ERRORS.inc(label);
+                }
+                if let Some(report) = span.finish() {
+                    micros.record(report.total_micros);
+                    ctx.slowlog.observe(&report, || argv_strings(&value));
+                }
+            }
         }
     }
+}
+
+/// Bounded-cardinality command label for the per-command metric families:
+/// the parsed command's canonical name, `AUTH` for the connection-layer auth
+/// frame, `INVALID` for anything unparseable (client-chosen strings must not
+/// mint label values).
+fn command_label(
+    value: &RespValue,
+    command: &Result<Command, abase_proto::ParseCommandError>,
+) -> &'static str {
+    if let Ok(c) = command {
+        return c.name();
+    }
+    if let RespValue::Array(Some(items)) = value {
+        if let Some(RespValue::Bulk(Some(name))) = items.first() {
+            if name.eq_ignore_ascii_case(b"AUTH") {
+                return "AUTH";
+            }
+        }
+    }
+    "INVALID"
+}
+
+/// The frame as printable argv for a SLOWLOG entry (lossy UTF-8, long
+/// arguments truncated — the log keeps shapes, not payloads).
+fn argv_strings(value: &RespValue) -> Vec<String> {
+    const MAX_ARG: usize = 128;
+    let RespValue::Array(Some(items)) = value else {
+        return vec!["<non-array frame>".into()];
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            RespValue::Bulk(Some(b)) => {
+                let shown = String::from_utf8_lossy(&b[..b.len().min(MAX_ARG)]).into_owned();
+                if b.len() > MAX_ARG {
+                    format!("{shown}... ({} bytes)", b.len())
+                } else {
+                    shown
+                }
+            }
+            other => format!("{other:?}"),
+        })
+        .collect()
 }
 
 /// Serve a `PSYNC` replica connection on the leader. The group lock is held
@@ -407,12 +590,14 @@ fn serve_replica_connection(
 fn dispatch(
     value: &RespValue,
     command: Result<Command, abase_proto::ParseCommandError>,
-    engine: &TableEngine,
-    clock: &AtomicU64,
     state: &mut ConnState,
-    replication: Option<&dyn ReplicationControl>,
-    read_only: bool,
+    span: &mut Span,
+    ctx: &ConnCtx,
 ) -> RespValue {
+    let engine = &*ctx.engine;
+    let clock = &*ctx.clock;
+    let replication = ctx.replication.as_deref();
+    let read_only = ctx.read_only;
     // AUTH is handled at the connection layer (it selects the tenant).
     if let RespValue::Array(Some(items)) = value {
         if items.len() == 2 {
@@ -465,6 +650,14 @@ fn dispatch(
         }
         return RespValue::ok();
     }
+    // Observability commands are served by the front end: it owns the
+    // registry view, the per-server SLOWLOG, and the replication identity.
+    match &command {
+        Command::Info { section } => return info_reply(section.as_deref(), ctx),
+        Command::Slowlog { sub } => return slowlog_reply(sub, &ctx.slowlog),
+        Command::Metrics => return RespValue::bulk(abase_obs::render()),
+        _ => {}
+    }
     // WAIT is answered by the replication plane when one is attached; the
     // engine's fallback (0 replicas acked) covers unreplicated nodes.
     if let (
@@ -475,6 +668,7 @@ fn dispatch(
         Some(repl),
     ) = (&command, replication)
     {
+        span.enter(Stage::ReplicationWait);
         let want = *numreplicas as usize;
         // Redis semantics: WAIT fences on the *connection's* last write, not
         // the global leader LSN — a read-only session must never block on
@@ -499,10 +693,13 @@ fn dispatch(
         } else {
             Duration::from_millis(*timeout_ms)
         };
-        return match repl.wait_for(fence, want, timeout) {
+        let wait_timer = Timer::start();
+        let reply = match repl.wait_for(fence, want, timeout) {
             Ok(acked) => RespValue::Integer(acked as i64),
             Err(e) => RespValue::Error(format!("ERR replication: {e}")),
         };
+        wait_timer.observe(&metrics::WAIT_MICROS);
+        return reply;
     }
     let now = clock.load(Ordering::Relaxed);
     // With a replication plane attached, non-leader GETs route to a replica
@@ -518,8 +715,15 @@ fn dispatch(
                 ConsistencyLevel::Leader => unreachable!("guarded above"),
             };
             let storage_key = TableEngine::storage_string_key(state.tenant, key);
+            span.enter(Stage::Engine);
             return match repl.read_routed(&storage_key, consistency, now) {
-                Ok((value, _lag)) => RespValue::Bulk(value.map(bytes::Bytes::from)),
+                Ok((value, _lag)) => {
+                    if abase_obs::enabled() {
+                        let bytes = value.as_ref().map_or(0, |v| v.len());
+                        tenant_ru(state).0.add(ru_units(bytes));
+                    }
+                    RespValue::Bulk(value.map(bytes::Bytes::from))
+                }
                 Err(e) => RespValue::Error(format!("ERR replication: {e}")),
             };
         }
@@ -529,16 +733,31 @@ fn dispatch(
     if read_only && command.is_write() {
         return RespValue::Error("READONLY You can't write against a read only replica.".into());
     }
+    span.enter(Stage::Engine);
     match engine.execute(state.tenant, &command, now) {
         Ok(outcome) => {
+            // §4.1 RU charging at the serving edge, split per tenant: writes
+            // by payload size, reads by actual bytes returned.
+            if abase_obs::enabled() {
+                let (read_ru, write_ru) = tenant_ru(state);
+                if command.is_write() {
+                    write_ru.add(ru_units(command.payload_size()));
+                } else {
+                    read_ru.add(ru_units(outcome.bytes_returned));
+                }
+            }
             // Writes are acknowledged only once the replica group's write
             // concern holds; an unsatisfiable concern is the client's error.
             if command.is_write() {
                 if let Some(repl) = replication {
+                    span.enter(Stage::ReplicationWait);
+                    let wait_timer = Timer::start();
                     // The committed LSN becomes the session's read fence
                     // (lock-coherent with the concern check, so it covers
                     // this write without racing a later last_lsn read).
-                    match repl.commit_written() {
+                    let committed = repl.commit_written();
+                    wait_timer.observe(&metrics::WAIT_MICROS);
+                    match committed {
                         Ok(lsn) => state.session_lsn = state.session_lsn.max(lsn),
                         Err(e) => {
                             return RespValue::Error(format!("ERR replication: {e}"));
@@ -549,6 +768,180 @@ fn dispatch(
             outcome.reply
         }
         Err(e) => RespValue::Error(format!("ERR storage: {e}")),
+    }
+}
+
+/// RUs charged for `bytes` moved: the paper's §4.1 unit is 2 KB, with a
+/// one-RU floor (integer RUs are enough at metric granularity).
+fn ru_units(bytes: usize) -> u64 {
+    bytes.max(1).div_ceil(2048) as u64
+}
+
+/// `(read, write)` RU counters for the connection's tenant, cached in the
+/// session state so steady-state charging is one relaxed atomic add instead
+/// of a label allocation plus two family probes per command.
+fn tenant_ru(state: &mut ConnState) -> (&'static abase_obs::Counter, &'static abase_obs::Counter) {
+    match state.ru_metrics {
+        Some((tenant, read, write)) if tenant == state.tenant => (read, write),
+        _ => {
+            let label = state.tenant.to_string();
+            let read = metrics::TENANT_READ_RU.with(&label);
+            let write = metrics::TENANT_WRITE_RU.with(&label);
+            state.ru_metrics = Some((state.tenant, read, write));
+            (read, write)
+        }
+    }
+}
+
+/// The replication identity `INFO` reports: the installed provider wins
+/// (follower mode), else the attached plane's view (leader), else none.
+fn current_repl_info(ctx: &ConnCtx) -> ReplInfo {
+    if let Some(provider) = &ctx.repl_info {
+        return provider();
+    }
+    if let Some(repl) = &ctx.replication {
+        return repl.repl_info();
+    }
+    ReplInfo::default()
+}
+
+/// Build the `INFO [section]` reply. Sections mirror Redis: `server`,
+/// `replication`, `keyspace`, `stats`, `latency`; no argument (or `all` /
+/// `default` / `everything`) emits them all, an unknown section an empty
+/// bulk string.
+fn info_reply(section: Option<&[u8]>, ctx: &ConnCtx) -> RespValue {
+    let section = section.map(|s| s.to_ascii_lowercase());
+    let wanted = |name: &str| match section.as_deref() {
+        None | Some(b"all") | Some(b"default") | Some(b"everything") => true,
+        Some(s) => s == name.as_bytes(),
+    };
+    let info = current_repl_info(ctx);
+    let mut out = String::new();
+    if wanted("server") {
+        out.push_str("# Server\r\n");
+        out.push_str(&format!("role:{}\r\n", info.role));
+        out.push_str(&format!(
+            "uptime_in_seconds:{}\r\n",
+            ctx.started.elapsed().as_secs()
+        ));
+        out.push_str(&format!(
+            "connected_clients:{}\r\n",
+            metrics::CONNECTIONS.get()
+        ));
+        out.push_str(&format!(
+            "metrics_enabled:{}\r\n",
+            u8::from(abase_obs::enabled())
+        ));
+        out.push_str(&format!(
+            "slowlog_threshold_micros:{}\r\n",
+            ctx.slowlog.threshold_micros()
+        ));
+        out.push_str("\r\n");
+    }
+    if wanted("replication") {
+        out.push_str("# Replication\r\n");
+        out.push_str(&format!("role:{}\r\n", info.role));
+        out.push_str(&format!("last_applied_lsn:{}\r\n", info.last_lsn));
+        out.push_str(&format!(
+            "leader_addr:{}\r\n",
+            info.leader_addr.as_deref().unwrap_or("")
+        ));
+        out.push_str(&format!("link_status:{}\r\n", info.link_status));
+        out.push_str(&format!(
+            "connected_followers:{}\r\n",
+            info.followers.iter().filter(|&&(_, _, up)| up).count()
+        ));
+        for (i, (id, lsn, up)) in info.followers.iter().enumerate() {
+            out.push_str(&format!(
+                "follower{i}:id={id},acked_lsn={lsn},connected={}\r\n",
+                u8::from(*up)
+            ));
+        }
+        out.push_str("\r\n");
+    }
+    if wanted("keyspace") {
+        let db = ctx.engine.db();
+        let stats = db.stats();
+        out.push_str("# Keyspace\r\n");
+        out.push_str(&format!("last_seq:{}\r\n", db.last_seq()));
+        out.push_str(&format!("gets:{}\r\n", stats.gets));
+        out.push_str(&format!("puts:{}\r\n", stats.puts));
+        out.push_str(&format!("deletes:{}\r\n", stats.deletes));
+        out.push_str(&format!("memtable_hits:{}\r\n", stats.memtable_hits));
+        out.push_str(&format!("block_reads:{}\r\n", stats.block_reads));
+        out.push_str(&format!("flushes:{}\r\n", stats.flushes));
+        out.push_str(&format!("compactions:{}\r\n", stats.compactions));
+        out.push_str(&format!(
+            "sst_bytes_written:{}\r\n",
+            stats.sst_bytes_written
+        ));
+        out.push_str("\r\n");
+    }
+    if wanted("stats") {
+        out.push_str("# Stats\r\n");
+        for (key, value) in abase_obs::snapshot().iter() {
+            if value.fract() == 0.0 {
+                out.push_str(&format!("{key}:{value:.0}\r\n"));
+            } else {
+                out.push_str(&format!("{key}:{value}\r\n"));
+            }
+        }
+        out.push_str("\r\n");
+    }
+    if wanted("latency") {
+        out.push_str("# Latency\r\n");
+        for (name, histo) in abase_obs::histograms() {
+            if histo.count() == 0 {
+                continue;
+            }
+            let q = |p: f64| histo.quantile(p).unwrap_or(0.0);
+            out.push_str(&format!(
+                "{name}:count={},mean_us={:.0},p50_us={:.0},p99_us={:.0}\r\n",
+                histo.count(),
+                histo.mean(),
+                q(0.5),
+                q(0.99),
+            ));
+        }
+        out.push_str("\r\n");
+    }
+    RespValue::bulk(out)
+}
+
+/// Answer `SLOWLOG GET/RESET/LEN` from this server's ring. `GET` entries are
+/// Redis-shaped — `[id, unix-secs, micros, argv…]` — with a fifth element
+/// holding the per-stage breakdown as `stage=micros` strings.
+fn slowlog_reply(sub: &SlowlogSub, slowlog: &SlowLog) -> RespValue {
+    match sub {
+        SlowlogSub::Len => RespValue::Integer(slowlog.len() as i64),
+        SlowlogSub::Reset => {
+            slowlog.reset();
+            RespValue::ok()
+        }
+        SlowlogSub::Get { count } => {
+            let count = count.map(|c| c as usize).unwrap_or(10);
+            let entries = slowlog
+                .get(count)
+                .into_iter()
+                .map(|e| {
+                    RespValue::Array(Some(vec![
+                        RespValue::Integer(e.id as i64),
+                        RespValue::Integer(e.unix_secs as i64),
+                        RespValue::Integer(e.duration_micros as i64),
+                        RespValue::Array(Some(
+                            e.command.into_iter().map(RespValue::bulk).collect(),
+                        )),
+                        RespValue::Array(Some(
+                            e.stages
+                                .into_iter()
+                                .map(|(stage, us)| RespValue::bulk(format!("{stage}={us}")))
+                                .collect(),
+                        )),
+                    ]))
+                })
+                .collect();
+            RespValue::Array(Some(entries))
+        }
     }
 }
 

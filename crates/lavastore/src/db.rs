@@ -378,6 +378,7 @@ impl Db {
         on_chunk: &mut dyn FnMut(usize),
     ) -> Result<CheckpointInfo> {
         static PIN_SEQ: AtomicU64 = AtomicU64::new(0);
+        let pin_timer = abase_obs::Timer::start();
         let pin_dir = self.dir.join(format!(
             ".ckpt-pin-{}-{}",
             std::process::id(),
@@ -481,7 +482,9 @@ impl Db {
             Ok(bytes_copied)
         })();
         std::fs::remove_dir_all(&pin_dir).ok();
+        pin_timer.observe(&crate::metrics::CHECKPOINT_PIN_MICROS);
         let bytes_copied = result?;
+        crate::metrics::CHECKPOINTS.inc();
         Ok(CheckpointInfo {
             last_seq: version.next_seq - 1,
             wal_segment,
@@ -627,6 +630,7 @@ impl Db {
         if inner.memtable.is_empty() {
             return Ok(());
         }
+        let flush_timer = abase_obs::Timer::start();
         let id = inner.version.allocate_file_id();
         let path = sst_path(&self.dir, id);
         let mut writer = SstWriter::create(
@@ -642,6 +646,7 @@ impl Db {
         self.stats
             .sst_bytes_written
             .fetch_add(info.file_size, Ordering::Relaxed);
+        crate::metrics::FLUSH_BYTES.add(info.file_size);
         inner.version.add_file(SstMeta {
             id,
             level: 0,
@@ -673,6 +678,8 @@ impl Db {
             std::fs::remove_file(wal_path(&self.dir, *id)).ok();
         }
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::FLUSHES.inc();
+        flush_timer.observe(&crate::metrics::FLUSH_MICROS);
         Ok(())
     }
 
@@ -759,6 +766,8 @@ impl Db {
             std::fs::remove_file(sst_path(&self.dir, *id)).ok();
         }
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::COMPACTIONS.inc();
+        crate::metrics::COMPACTION_BYTES.add(new_metas.iter().map(|m| m.file_size).sum());
         Ok(true)
     }
 

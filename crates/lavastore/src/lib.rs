@@ -37,6 +37,7 @@ pub mod encoding;
 pub mod error;
 pub mod iter;
 pub mod memtable;
+pub mod metrics;
 pub mod record;
 pub mod sstable;
 pub mod version;

@@ -1,0 +1,64 @@
+//! LavaStore's metric declarations: one place naming every storage-layer
+//! metric so `crates/obs/README.md` and the exposition stay in sync.
+//!
+//! Recording sites live where the work happens (`wal.rs`, `db.rs`); this
+//! module only owns the `static` handles.
+
+use abase_obs::{LazyCounter, LazyHisto};
+
+/// WAL append latency (frame build + buffered write + optional fsync).
+pub static WAL_APPEND_MICROS: LazyHisto = LazyHisto::new(
+    "abase_lava_wal_append_micros",
+    "WAL append latency, including fsync when sync-on-append is set",
+);
+
+/// Total WAL bytes appended (frame bytes, including headers).
+pub static WAL_APPEND_BYTES: LazyCounter = LazyCounter::new(
+    "abase_lava_wal_append_bytes_total",
+    "WAL bytes appended, including frame headers",
+);
+
+/// WAL fsync latency (the flush + sync_data pair on durable appends).
+pub static WAL_FSYNC_MICROS: LazyHisto = LazyHisto::new(
+    "abase_lava_wal_fsync_micros",
+    "WAL fsync latency on durable appends",
+);
+
+/// Memtable flushes completed.
+pub static FLUSHES: LazyCounter = LazyCounter::new(
+    "abase_lava_flushes_total",
+    "Memtable flushes into L0 SSTs completed",
+);
+
+/// Bytes written to SSTs by flushes.
+pub static FLUSH_BYTES: LazyCounter = LazyCounter::new(
+    "abase_lava_flush_bytes_total",
+    "SST bytes written by memtable flushes",
+);
+
+/// Flush latency (memtable freeze through SST install).
+pub static FLUSH_MICROS: LazyHisto =
+    LazyHisto::new("abase_lava_flush_micros", "Memtable flush latency");
+
+/// Compactions completed.
+pub static COMPACTIONS: LazyCounter =
+    LazyCounter::new("abase_lava_compactions_total", "Compactions completed");
+
+/// Bytes written by compactions.
+pub static COMPACTION_BYTES: LazyCounter = LazyCounter::new(
+    "abase_lava_compaction_bytes_total",
+    "SST bytes written by compactions",
+);
+
+/// Checkpoints published.
+pub static CHECKPOINTS: LazyCounter = LazyCounter::new(
+    "abase_lava_checkpoints_total",
+    "Consistent checkpoints published",
+);
+
+/// How long checkpoint pins were held (pin → release), i.e. how long
+/// obsolete files were retained for a checkpoint consumer.
+pub static CHECKPOINT_PIN_MICROS: LazyHisto = LazyHisto::new(
+    "abase_lava_checkpoint_pin_micros",
+    "Duration checkpoint pins were held before release",
+);

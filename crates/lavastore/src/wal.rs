@@ -6,7 +6,9 @@
 
 use crate::encoding::crc32;
 use crate::error::{Error, Result};
+use crate::metrics;
 use crate::record::Record;
+use abase_obs::Timer;
 use abase_util::failpoint::{self, FaultAction};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -96,18 +98,23 @@ impl Wal {
             }
             _ => {}
         }
+        let timer = Timer::start();
         self.writer.write_all(&crc.to_le_bytes())?;
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.appended += 8 + payload.len() as u64;
+        metrics::WAL_APPEND_BYTES.add(8 + payload.len() as u64);
         if self.sync_on_append {
             if let Some(FaultAction::Error) = failpoint::check("wal.sync", &self.context) {
                 return Err(injected_io("wal fsync failed"));
             }
+            let fsync_timer = Timer::start();
             self.writer.flush()?;
             self.writer.get_ref().sync_data()?;
+            fsync_timer.observe(&metrics::WAL_FSYNC_MICROS);
         }
+        timer.observe(&metrics::WAL_APPEND_MICROS);
         Ok(())
     }
 

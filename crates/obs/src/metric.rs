@@ -1,0 +1,263 @@
+//! The three metric primitives: atomic counters, gauges, and sharded
+//! log-bucketed latency histograms.
+//!
+//! Everything here is wait-free on the record path: a counter increment or a
+//! histogram observation is **one relaxed atomic op** (the histogram derives
+//! its total count and approximate sum from the buckets at scrape time, so
+//! recording touches exactly one bucket cell). Histograms additionally shard
+//! their bucket arrays by thread so concurrent recorders on different cores
+//! do not fight over one cache line.
+
+use abase_util::LatencyHistogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (connection counts, lag, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add (possibly negative) `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket-layout parameters shared with
+/// [`LatencyHistogram::for_latency_micros`]: 10 µs .. 100 s at 5 % growth.
+/// Keeping the layouts identical means a [`Histo`] snapshot converts
+/// losslessly into a `LatencyHistogram`, whose quantile math (geometric
+/// bucket midpoints, bounded relative error) is reused rather than
+/// reimplemented.
+pub const HISTO_MIN: f64 = 10.0;
+/// Upper clamp of the layout (values beyond land in the last bucket).
+pub const HISTO_MAX: f64 = 100_000_000.0;
+/// Per-bucket growth factor (~5 % relative error).
+pub const HISTO_GROWTH: f64 = 1.05;
+
+/// Bucket shards: concurrent recorders hash their thread onto one of these
+/// so a hot histogram does not serialize every core on one cache line.
+pub const HISTO_SHARDS: usize = 8;
+
+fn n_buckets() -> usize {
+    ((HISTO_MAX / HISTO_MIN).ln() / HISTO_GROWTH.ln()).ceil() as usize + 1
+}
+
+/// A stable per-thread shard index (threads are striped round-robin).
+#[inline]
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    IDX.with(|i| *i) & (HISTO_SHARDS - 1)
+}
+
+/// A concurrent log-bucketed latency histogram (microsecond domain).
+///
+/// Recording computes the bucket index (pure arithmetic) and performs a
+/// single relaxed `fetch_add` on the recorder thread's shard.
+#[derive(Debug)]
+pub struct Histo {
+    log_growth: f64,
+    shards: Box<[Box<[AtomicU64]>]>,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histo {
+    /// An empty histogram with the shared latency layout.
+    pub fn new() -> Self {
+        let buckets = n_buckets();
+        let shards = (0..HISTO_SHARDS)
+            .map(|_| {
+                (0..buckets)
+                    .map(|_| AtomicU64::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            log_growth: HISTO_GROWTH.ln(),
+            shards,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(&self, micros: u64) -> usize {
+        if micros as f64 <= HISTO_MIN {
+            return 0;
+        }
+        let idx = ((micros as f64 / HISTO_MIN).ln() / self.log_growth) as usize;
+        idx.min(self.shards[0].len() - 1)
+    }
+
+    /// Record one observation of `micros`. One relaxed atomic op.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        let idx = self.bucket_index(micros);
+        self.shards[shard_index()][idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket totals summed across shards.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let buckets = self.shards[0].len();
+        let mut out = vec![0u64; buckets];
+        for shard in self.shards.iter() {
+            for (total, cell) in out.iter_mut().zip(shard.iter()) {
+                *total += cell.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// The geometric midpoint of bucket `i` (the value quantiles report for
+    /// observations that landed there).
+    pub fn bucket_mid(&self, i: usize) -> f64 {
+        HISTO_MIN * (self.log_growth * (i as f64 + 0.5)).exp()
+    }
+
+    /// The upper bound of bucket `i` (Prometheus `le` boundary).
+    pub fn bucket_upper(&self, i: usize) -> f64 {
+        HISTO_MIN * (self.log_growth * (i as f64 + 1.0)).exp()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Convert to a [`LatencyHistogram`] with the identical layout, reusing
+    /// its quantile math. Approximate sum/mean come from bucket midpoints
+    /// (bounded relative error, same contract as the quantiles).
+    pub fn to_latency_histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new(HISTO_MIN, HISTO_MAX, HISTO_GROWTH);
+        for (i, &c) in self.bucket_counts().iter().enumerate() {
+            if c > 0 {
+                h.record_n(self.bucket_mid(i), c);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histo_layout_matches_latency_histogram() {
+        let h = Histo::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 10); // 10 µs .. 100 ms uniformly
+        }
+        assert_eq!(h.count(), 10_000);
+        let lat = h.to_latency_histogram();
+        assert_eq!(lat.count(), 10_000);
+        let p50 = lat.quantile(0.5).unwrap();
+        let p99 = lat.quantile(0.99).unwrap();
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.07, "p50={p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.07, "p99={p99}");
+    }
+
+    #[test]
+    fn histo_midpoints_map_back_to_their_bucket() {
+        // Below bucket ~20 the bucket width drops under 1 µs, so integer
+        // micros cannot distinguish neighbours; recording is integer-valued,
+        // but the f64 midpoints used by `to_latency_histogram` must round-trip
+        // everywhere integers can represent the bucket.
+        let h = Histo::new();
+        for i in [0usize, 30, 60, 100, 200, 331] {
+            let mid = h.bucket_mid(i);
+            assert_eq!(h.bucket_index(mid as u64), i, "bucket {i} mid {mid}");
+        }
+    }
+
+    #[test]
+    fn histo_concurrent_records_land_in_shards() {
+        let h = std::sync::Arc::new(Histo::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        h.record(500);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,606 @@
+//! The process-global metrics registry and the lazy static handles
+//! instrumentation sites hold.
+//!
+//! Hot paths declare metrics as `static` [`LazyCounter`]/[`LazyGauge`]/
+//! [`LazyHisto`] (or the labelled `*Family` variants) and record through
+//! them; the first touch registers the metric (leaking it, so handles are
+//! `&'static` and recording never takes the registry lock). When the
+//! registry is disabled ([`set_enabled`]) every record path short-circuits
+//! after one relaxed load — that is the "no-op registry" arm the overhead
+//! bench compares against.
+
+use crate::metric::{Counter, Gauge, Histo};
+use abase_util::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is the registry recording? One relaxed load — every record path checks
+/// this first, so a disabled registry costs nothing beyond the check.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on/off process-wide. Off = the no-op registry (used by the
+/// overhead bench to measure what instrumentation costs).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// What a registered name is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Latency histogram (microseconds).
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A family keyed by one label: members are interned on first use and live
+/// forever. The read path is a shared-lock map probe (cold compared to the
+/// unlabelled handles — use those on the hottest paths).
+#[derive(Debug)]
+pub struct Family<T: 'static> {
+    label_key: &'static str,
+    members: RwLock<BTreeMap<String, &'static T>>,
+    make: fn() -> T,
+}
+
+impl<T: 'static> Family<T> {
+    fn new(label_key: &'static str, make: fn() -> T) -> Self {
+        Self {
+            label_key,
+            members: RwLock::new(BTreeMap::new()),
+            make,
+        }
+    }
+
+    /// The label key this family is partitioned by.
+    pub fn label_key(&self) -> &'static str {
+        self.label_key
+    }
+
+    /// The member for `label`, interning it on first use.
+    pub fn with(&self, label: &str) -> &'static T {
+        if let Some(m) = self.members.read().unwrap().get(label) {
+            return m;
+        }
+        let mut members = self.members.write().unwrap();
+        members
+            .entry(label.to_string())
+            .or_insert_with(|| Box::leak(Box::new((self.make)())))
+    }
+
+    /// Every interned `(label, member)` pair.
+    pub fn members(&self) -> Vec<(String, &'static T)> {
+        self.members
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+/// A registered metric's storage.
+#[derive(Debug, Clone, Copy)]
+pub enum Handle {
+    /// Single counter.
+    Counter(&'static Counter),
+    /// Single gauge.
+    Gauge(&'static Gauge),
+    /// Single histogram.
+    Histo(&'static Histo),
+    /// Labelled counters.
+    CounterFamily(&'static Family<Counter>),
+    /// Labelled gauges.
+    GaugeFamily(&'static Family<Gauge>),
+    /// Labelled histograms.
+    HistoFamily(&'static Family<Histo>),
+}
+
+impl Handle {
+    /// The metric kind this handle stores.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) | Handle::CounterFamily(_) => MetricKind::Counter,
+            Handle::Gauge(_) | Handle::GaugeFamily(_) => MetricKind::Gauge,
+            Handle::Histo(_) | Handle::HistoFamily(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One registry row.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// Metric family name (`abase_…_total`).
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+    /// The storage behind the name.
+    pub handle: Handle,
+}
+
+fn metrics() -> &'static Mutex<BTreeMap<&'static str, Entry>> {
+    static METRICS: OnceLock<Mutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn register(name: &'static str, help: &'static str, make: impl FnOnce() -> Handle) -> Handle {
+    let mut map = metrics().lock().unwrap();
+    if let Some(existing) = map.get(name) {
+        return existing.handle;
+    }
+    let handle = make();
+    map.insert(name, Entry { name, help, handle });
+    handle
+}
+
+/// Every registered entry, sorted by name.
+pub fn entries() -> Vec<Entry> {
+    metrics().lock().unwrap().values().copied().collect()
+}
+
+/// A point-in-time scalar view of the registry, for assertions and deltas.
+///
+/// Keys are `name` for plain metrics and `name{label}` for family members;
+/// histograms contribute `name_count` (observation totals). Counter and
+/// count values only ever grow, so `delta ≥ x` assertions are safe even when
+/// unrelated threads record concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    values: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    /// The scalar at `key` (0 when absent).
+    pub fn value(&self, key: &str) -> f64 {
+        self.values.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// A counter's value summed across all its labels (covers both plain
+    /// `name` and every `name{label}` member).
+    pub fn counter(&self, name: &str) -> u64 {
+        let prefix = format!("{name}{{");
+        self.values
+            .iter()
+            .filter(|(k, _)| k.as_str() == name || k.starts_with(&prefix))
+            .map(|(_, v)| *v)
+            .sum::<f64>() as u64
+    }
+
+    /// Per-key saturating difference against an earlier snapshot (keys
+    /// missing earlier count from zero).
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), (v - baseline.value(k)).max(0.0)))
+            .collect();
+        Snapshot { values }
+    }
+
+    /// All `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Capture a [`Snapshot`] of every registered metric (plus fail-point fire
+/// counts as `failpoint_fired_total{point}`).
+pub fn snapshot() -> Snapshot {
+    let mut values = BTreeMap::new();
+    for entry in entries() {
+        match entry.handle {
+            Handle::Counter(c) => {
+                values.insert(entry.name.to_string(), c.get() as f64);
+            }
+            Handle::Gauge(g) => {
+                values.insert(entry.name.to_string(), g.get() as f64);
+            }
+            Handle::Histo(h) => {
+                values.insert(format!("{}_count", entry.name), h.count() as f64);
+            }
+            Handle::CounterFamily(f) => {
+                for (label, c) in f.members() {
+                    values.insert(format!("{}{{{label}}}", entry.name), c.get() as f64);
+                }
+            }
+            Handle::GaugeFamily(f) => {
+                for (label, g) in f.members() {
+                    values.insert(format!("{}{{{label}}}", entry.name), g.get() as f64);
+                }
+            }
+            Handle::HistoFamily(f) => {
+                for (label, h) in f.members() {
+                    values.insert(format!("{}_count{{{label}}}", entry.name), h.count() as f64);
+                }
+            }
+        }
+    }
+    for (point, fired) in abase_util::failpoint::fired_counts() {
+        values.insert(format!("failpoint_fired_total{{{point}}}"), fired as f64);
+    }
+    Snapshot { values }
+}
+
+/// Every histogram currently registered, as `(display-name, histogram)`
+/// pairs — `name` for plain histograms, `name{label}` for family members —
+/// converted to [`LatencyHistogram`]s so callers can query quantiles.
+pub fn histograms() -> Vec<(String, LatencyHistogram)> {
+    let mut out = Vec::new();
+    for entry in entries() {
+        match entry.handle {
+            Handle::Histo(h) => out.push((entry.name.to_string(), h.to_latency_histogram())),
+            Handle::HistoFamily(f) => {
+                for (label, h) in f.members() {
+                    out.push((
+                        format!("{}{{{label}}}", entry.name),
+                        h.to_latency_histogram(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+macro_rules! lazy_handle {
+    ($(#[$doc:meta])* $name:ident, $metric:ty, $variant:ident, $register:ident) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            name: &'static str,
+            help: &'static str,
+            cell: OnceLock<&'static $metric>,
+        }
+
+        impl $name {
+            /// Declare (without registering) a metric handle; registration
+            /// happens on first touch.
+            pub const fn new(name: &'static str, help: &'static str) -> Self {
+                Self {
+                    name,
+                    help,
+                    cell: OnceLock::new(),
+                }
+            }
+
+            /// The registered metric (registering it now if needed).
+            #[inline]
+            pub fn metric(&self) -> &'static $metric {
+                self.cell.get_or_init(|| {
+                    match register(self.name, self.help, || {
+                        Handle::$variant(Box::leak(Box::new(<$metric>::default())))
+                    }) {
+                        Handle::$variant(m) => m,
+                        other => panic!(
+                            "metric {} re-registered with a different kind ({:?})",
+                            self.name, other
+                        ),
+                    }
+                })
+            }
+
+            /// Force registration (so exposition lists the family even
+            /// before the first event).
+            pub fn touch(&self) {
+                self.metric();
+            }
+        }
+    };
+}
+
+lazy_handle!(
+    /// A `static`-declarable counter handle.
+    LazyCounter,
+    Counter,
+    Counter,
+    register_counter
+);
+lazy_handle!(
+    /// A `static`-declarable gauge handle.
+    LazyGauge,
+    Gauge,
+    Gauge,
+    register_gauge
+);
+lazy_handle!(
+    /// A `static`-declarable histogram handle.
+    LazyHisto,
+    Histo,
+    Histo,
+    register_histo
+);
+
+impl LazyCounter {
+    /// Add one (no-op while the registry is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        if enabled() {
+            self.metric().inc();
+        }
+    }
+
+    /// Add `n` (no-op while the registry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.metric().add(n);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.metric().get()
+    }
+}
+
+impl LazyGauge {
+    /// Overwrite the value (no-op while the registry is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.metric().set(v);
+        }
+    }
+
+    /// Add (possibly negative) `delta` (no-op while disabled).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.metric().add(delta);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.metric().get()
+    }
+}
+
+impl LazyHisto {
+    /// Record one observation of `micros` (no-op while disabled).
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        if enabled() {
+            self.metric().record(micros);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.metric().count()
+    }
+}
+
+macro_rules! lazy_family {
+    ($(#[$doc:meta])* $name:ident, $metric:ty, $variant:ident) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            name: &'static str,
+            help: &'static str,
+            label_key: &'static str,
+            cell: OnceLock<&'static Family<$metric>>,
+        }
+
+        impl $name {
+            /// Declare a labelled family; registration happens on first touch.
+            pub const fn new(
+                name: &'static str,
+                label_key: &'static str,
+                help: &'static str,
+            ) -> Self {
+                Self {
+                    name,
+                    help,
+                    label_key,
+                    cell: OnceLock::new(),
+                }
+            }
+
+            /// The registered family (registering it now if needed).
+            #[inline]
+            pub fn family(&self) -> &'static Family<$metric> {
+                let label_key = self.label_key;
+                self.cell.get_or_init(|| {
+                    match register(self.name, self.help, || {
+                        Handle::$variant(Box::leak(Box::new(Family::new(
+                            label_key,
+                            <$metric>::default,
+                        ))))
+                    }) {
+                        Handle::$variant(f) => f,
+                        other => panic!(
+                            "metric {} re-registered with a different kind ({:?})",
+                            self.name, other
+                        ),
+                    }
+                })
+            }
+
+            /// Force registration.
+            pub fn touch(&self) {
+                self.family();
+            }
+
+            /// The member for `label` (interned on first use).
+            pub fn with(&self, label: &str) -> &'static $metric {
+                self.family().with(label)
+            }
+        }
+    };
+}
+
+lazy_family!(
+    /// A `static`-declarable labelled counter family.
+    LazyCounterFamily,
+    Counter,
+    CounterFamily
+);
+lazy_family!(
+    /// A `static`-declarable labelled gauge family.
+    LazyGaugeFamily,
+    Gauge,
+    GaugeFamily
+);
+lazy_family!(
+    /// A `static`-declarable labelled histogram family.
+    LazyHistoFamily,
+    Histo,
+    HistoFamily
+);
+
+impl LazyCounterFamily {
+    /// Add one to `label`'s counter (no-op while disabled).
+    #[inline]
+    pub fn inc(&self, label: &str) {
+        if enabled() {
+            self.with(label).inc();
+        }
+    }
+
+    /// Add `n` to `label`'s counter (no-op while disabled).
+    #[inline]
+    pub fn add(&self, label: &str, n: u64) {
+        if enabled() {
+            self.with(label).add(n);
+        }
+    }
+}
+
+impl LazyGaugeFamily {
+    /// Set `label`'s gauge (no-op while disabled).
+    #[inline]
+    pub fn set(&self, label: &str, v: i64) {
+        if enabled() {
+            self.with(label).set(v);
+        }
+    }
+}
+
+impl LazyHistoFamily {
+    /// Record into `label`'s histogram (no-op while disabled).
+    #[inline]
+    pub fn record(&self, label: &str, micros: u64) {
+        if enabled() {
+            self.with(label).record(micros);
+        }
+    }
+}
+
+/// A start/stop wall-clock timer that is free when the registry is disabled
+/// (no `Instant::now` call on either end).
+#[derive(Debug)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// Start timing (a no-op returning an inert timer while disabled).
+    #[inline]
+    pub fn start() -> Self {
+        Timer(if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Elapsed microseconds, if the timer is live.
+    #[inline]
+    pub fn elapsed_micros(&self) -> Option<u64> {
+        self.0.map(|t| t.elapsed().as_micros() as u64)
+    }
+
+    /// Record the elapsed time into `histo` and stop.
+    #[inline]
+    pub fn observe(self, histo: &LazyHisto) {
+        if let Some(t) = self.0 {
+            histo.record(t.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static T_COUNTER: LazyCounter = LazyCounter::new("test_registry_counter_total", "test");
+    static T_GAUGE: LazyGauge = LazyGauge::new("test_registry_gauge", "test");
+    static T_HISTO: LazyHisto = LazyHisto::new("test_registry_micros", "test");
+    static T_FAMILY: LazyCounterFamily =
+        LazyCounterFamily::new("test_registry_family_total", "op", "test");
+
+    #[test]
+    fn handles_register_once_and_record() {
+        T_COUNTER.inc();
+        T_COUNTER.add(2);
+        T_GAUGE.set(5);
+        T_HISTO.record(1234);
+        T_FAMILY.inc("get");
+        T_FAMILY.inc("get");
+        T_FAMILY.inc("set");
+        assert_eq!(T_COUNTER.get(), 3);
+        assert_eq!(T_GAUGE.get(), 5);
+        assert_eq!(T_HISTO.count(), 1);
+        let snap = snapshot();
+        assert_eq!(snap.value("test_registry_counter_total"), 3.0);
+        assert_eq!(snap.value("test_registry_gauge"), 5.0);
+        assert_eq!(snap.value("test_registry_micros_count"), 1.0);
+        assert_eq!(snap.value("test_registry_family_total{get}"), 2.0);
+        assert_eq!(snap.counter("test_registry_family_total"), 3);
+        // Deltas never go negative and count only growth.
+        let base = snap.clone();
+        T_COUNTER.inc();
+        let delta = snapshot().delta(&base);
+        assert_eq!(delta.value("test_registry_counter_total"), 1.0);
+    }
+
+    #[test]
+    fn disabled_registry_drops_records() {
+        static OFF: LazyCounter = LazyCounter::new("test_registry_off_total", "test");
+        OFF.touch();
+        let before = OFF.get();
+        set_enabled(false);
+        OFF.inc();
+        let timer = Timer::start();
+        assert!(timer.elapsed_micros().is_none());
+        set_enabled(true);
+        assert_eq!(OFF.get(), before);
+        OFF.inc();
+        assert_eq!(OFF.get(), before + 1);
+    }
+
+    #[test]
+    fn histograms_are_queryable_by_name() {
+        static Q: LazyHisto = LazyHisto::new("test_registry_quantile_micros", "test");
+        for _ in 0..100 {
+            Q.record(1000);
+        }
+        let histos = histograms();
+        let (_, lat) = histos
+            .iter()
+            .find(|(name, _)| name == "test_registry_quantile_micros")
+            .expect("histogram registered");
+        let p50 = lat.quantile(0.5).unwrap();
+        assert!((p50 - 1000.0).abs() / 1000.0 < 0.06, "p50={p50}");
+    }
+}

@@ -113,8 +113,38 @@ pub enum Command {
         /// Requested level name, when setting.
         level: Option<Bytes>,
     },
+    /// `INFO [section]` — human-readable server status, redis-style: named
+    /// sections (`server`, `replication`, `keyspace`, `stats`, `latency`) of
+    /// `key:value` lines. Without an argument every section is returned.
+    Info {
+        /// Requested section name, when given.
+        section: Option<Bytes>,
+    },
+    /// `SLOWLOG GET [count] | RESET | LEN` — query the server's ring of
+    /// operations that exceeded the slow-op threshold.
+    Slowlog {
+        /// Which subcommand was requested.
+        sub: SlowlogSub,
+    },
+    /// `METRICS` — dump the whole metrics registry as Prometheus text
+    /// exposition (one bulk string), for scraping.
+    Metrics,
     /// `PING`
     Ping,
+}
+
+/// The `SLOWLOG` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowlogSub {
+    /// `SLOWLOG GET [count]` — most recent entries, newest first.
+    Get {
+        /// Entry cap; server default when absent.
+        count: Option<u64>,
+    },
+    /// `SLOWLOG RESET` — drop every captured entry.
+    Reset,
+    /// `SLOWLOG LEN` — number of captured entries.
+    Len,
 }
 
 /// Coarse classification used by quotas and the WFQ.
@@ -327,6 +357,44 @@ impl Command {
                     level: args.first().map(as_bulk).transpose()?,
                 })
             }
+            "INFO" => {
+                if args.len() > 1 {
+                    return Err(err("INFO expects at most one section argument"));
+                }
+                Ok(Command::Info {
+                    section: args.first().map(as_bulk).transpose()?,
+                })
+            }
+            "SLOWLOG" => {
+                let Some(sub_raw) = args.first() else {
+                    return Err(err("SLOWLOG expects GET|RESET|LEN"));
+                };
+                let sub_name = as_bulk(sub_raw)?.to_ascii_uppercase();
+                let sub = match sub_name.as_slice() {
+                    b"GET" => {
+                        if args.len() > 2 {
+                            return Err(err("SLOWLOG GET expects at most one count"));
+                        }
+                        SlowlogSub::Get {
+                            count: args.get(1).map(as_u64).transpose()?,
+                        }
+                    }
+                    b"RESET" => {
+                        want(1)?;
+                        SlowlogSub::Reset
+                    }
+                    b"LEN" => {
+                        want(1)?;
+                        SlowlogSub::Len
+                    }
+                    _ => return Err(err("SLOWLOG expects GET|RESET|LEN")),
+                };
+                Ok(Command::Slowlog { sub })
+            }
+            "METRICS" => {
+                want(0)?;
+                Ok(Command::Metrics)
+            }
             other => Err(err(format!("unknown command {other}"))),
         }
     }
@@ -431,8 +499,52 @@ impl Command {
                     push(level);
                 }
             }
+            Command::Info { section } => {
+                push(b"INFO");
+                if let Some(section) = section {
+                    push(section);
+                }
+            }
+            Command::Slowlog { sub } => {
+                push(b"SLOWLOG");
+                match sub {
+                    SlowlogSub::Get { count } => {
+                        push(b"GET");
+                        if let Some(count) = count {
+                            push(count.to_string().as_bytes());
+                        }
+                    }
+                    SlowlogSub::Reset => push(b"RESET"),
+                    SlowlogSub::Len => push(b"LEN"),
+                }
+            }
+            Command::Metrics => push(b"METRICS"),
         }
         RespValue::array(items)
+    }
+
+    /// The canonical uppercase command name (the metrics `command` label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Get { .. } => "GET",
+            Command::Set { .. } => "SET",
+            Command::Del { .. } => "DEL",
+            Command::Exists { .. } => "EXISTS",
+            Command::Expire { .. } => "EXPIRE",
+            Command::HSet { .. } => "HSET",
+            Command::HGet { .. } => "HGET",
+            Command::HDel { .. } => "HDEL",
+            Command::HLen { .. } => "HLEN",
+            Command::HGetAll { .. } => "HGETALL",
+            Command::Wait { .. } => "WAIT",
+            Command::ReplConf { .. } => "REPLCONF",
+            Command::PSync { .. } => "PSYNC",
+            Command::Consistency { .. } => "CONSISTENCY",
+            Command::Info { .. } => "INFO",
+            Command::Slowlog { .. } => "SLOWLOG",
+            Command::Metrics => "METRICS",
+            Command::Ping => "PING",
+        }
     }
 
     /// Coarse classification for quotas and queue selection.
@@ -451,7 +563,10 @@ impl Command {
             | Command::Wait { .. }
             | Command::ReplConf { .. }
             | Command::PSync { .. }
-            | Command::Consistency { .. } => CommandKind::Control,
+            | Command::Consistency { .. }
+            | Command::Info { .. }
+            | Command::Slowlog { .. }
+            | Command::Metrics => CommandKind::Control,
         }
     }
 
@@ -477,7 +592,10 @@ impl Command {
             | Command::Wait { .. }
             | Command::ReplConf { .. }
             | Command::PSync { .. }
-            | Command::Consistency { .. } => None,
+            | Command::Consistency { .. }
+            | Command::Info { .. }
+            | Command::Slowlog { .. }
+            | Command::Metrics => None,
         }
     }
 
@@ -542,7 +660,12 @@ impl Command {
                 pairs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>()
             }
             Command::Consistency { level } => level.as_ref().map(Bytes::len).unwrap_or(0),
-            Command::Ping | Command::Wait { .. } | Command::PSync { .. } => 0,
+            Command::Info { section } => section.as_ref().map(Bytes::len).unwrap_or(0),
+            Command::Ping
+            | Command::Wait { .. }
+            | Command::PSync { .. }
+            | Command::Slowlog { .. }
+            | Command::Metrics => 0,
         }
     }
 }
@@ -695,6 +818,78 @@ mod tests {
         assert_eq!(hs.replconf_option("listening-port"), Some(6380));
         assert_eq!(hs.replconf_option("replica-id"), Some(7));
         assert_eq!(hs.replconf_ack_lsn(), None);
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert_eq!(parse(&["INFO"]).unwrap(), Command::Info { section: None });
+        assert_eq!(
+            parse(&["info", "replication"]).unwrap(),
+            Command::Info {
+                section: Some("replication".into())
+            }
+        );
+        assert!(parse(&["INFO", "a", "b"]).is_err());
+        assert_eq!(
+            parse(&["SLOWLOG", "GET"]).unwrap(),
+            Command::Slowlog {
+                sub: SlowlogSub::Get { count: None }
+            }
+        );
+        assert_eq!(
+            parse(&["slowlog", "get", "5"]).unwrap(),
+            Command::Slowlog {
+                sub: SlowlogSub::Get { count: Some(5) }
+            }
+        );
+        assert_eq!(
+            parse(&["SLOWLOG", "RESET"]).unwrap(),
+            Command::Slowlog {
+                sub: SlowlogSub::Reset
+            }
+        );
+        assert_eq!(
+            parse(&["SLOWLOG", "len"]).unwrap(),
+            Command::Slowlog {
+                sub: SlowlogSub::Len
+            }
+        );
+        assert!(parse(&["SLOWLOG"]).is_err());
+        assert!(parse(&["SLOWLOG", "TRUNCATE"]).is_err());
+        assert!(parse(&["SLOWLOG", "RESET", "1"]).is_err());
+        assert_eq!(parse(&["METRICS"]).unwrap(), Command::Metrics);
+        assert!(parse(&["METRICS", "x"]).is_err());
+        for cmd in [
+            Command::Info {
+                section: Some("stats".into()),
+            },
+            Command::Slowlog {
+                sub: SlowlogSub::Get { count: Some(3) },
+            },
+            Command::Slowlog {
+                sub: SlowlogSub::Len,
+            },
+            Command::Metrics,
+        ] {
+            assert_eq!(Command::from_resp(&cmd.to_resp()).unwrap(), cmd);
+            assert_eq!(cmd.kind(), CommandKind::Control);
+            assert_eq!(cmd.routing_key(), None);
+        }
+    }
+
+    #[test]
+    fn names_match_wire_spelling() {
+        for (cmd, want) in [
+            (parse(&["GET", "k"]).unwrap(), "GET"),
+            (parse(&["set", "k", "v"]).unwrap(), "SET"),
+            (parse(&["hgetall", "h"]).unwrap(), "HGETALL"),
+            (parse(&["INFO"]).unwrap(), "INFO"),
+            (parse(&["SLOWLOG", "LEN"]).unwrap(), "SLOWLOG"),
+            (parse(&["METRICS"]).unwrap(), "METRICS"),
+            (parse(&["PING"]).unwrap(), "PING"),
+        ] {
+            assert_eq!(cmd.name(), want);
+        }
     }
 
     #[test]

@@ -15,5 +15,5 @@
 pub mod command;
 pub mod resp;
 
-pub use command::{Command, CommandKind, ParseCommandError};
+pub use command::{Command, CommandKind, ParseCommandError, SlowlogSub};
 pub use resp::{ParseError, RespValue};

@@ -732,7 +732,33 @@ impl ReplicaGroup {
         for id in ids {
             self.pump_follower(id)?;
         }
+        self.refresh_lag_gauges();
         Ok(())
+    }
+
+    /// Publish the per-follower LSN lag gauges (local replicas and remote
+    /// socket followers alike) from the current group state.
+    pub fn refresh_lag_gauges(&self) {
+        if !abase_obs::enabled() {
+            return;
+        }
+        let Ok(leader_lsn) = self.leader_lsn() else {
+            return;
+        };
+        for r in &self.replicas {
+            if r.role == Role::Follower && r.alive {
+                crate::metrics::FOLLOWER_LAG.set(
+                    &r.id.to_string(),
+                    leader_lsn.saturating_sub(r.db.last_seq()) as i64,
+                );
+            }
+        }
+        for &(id, acked, connected) in &self.status().remote_followers {
+            if connected {
+                crate::metrics::FOLLOWER_LAG
+                    .set(&id.to_string(), leader_lsn.saturating_sub(acked) as i64);
+            }
+        }
     }
 
     /// Read `key` at the requested consistency level.
@@ -990,6 +1016,7 @@ impl ReplicaGroup {
                 return Ok(PumpStatus::Applied);
             }
         }
+        let pump_timer = abase_obs::Timer::start();
         let outcome = {
             let r = &mut self.replicas[idx];
             let Some(transport) = r.transport.as_mut() else {
@@ -1000,6 +1027,7 @@ impl ReplicaGroup {
         match outcome {
             Poll::Records(records) => {
                 let r = &mut self.replicas[idx];
+                crate::metrics::SHIP_RECORDS.add(records.len() as u64);
                 for record in &records {
                     match r.db.apply_replicated(record) {
                         Ok(_) => {}
@@ -1018,7 +1046,9 @@ impl ReplicaGroup {
                 let lsn = r.db.last_seq();
                 if let Some(t) = r.transport.as_mut() {
                     t.ack(lsn)?;
+                    crate::metrics::ACKS.inc();
                 }
+                pump_timer.observe(&crate::metrics::PUMP_MICROS);
                 Ok(PumpStatus::Applied)
             }
             Poll::Gap => Ok(PumpStatus::NeedsResync),
@@ -1114,6 +1144,7 @@ impl ReplicaGroup {
         r.transport = Some(Box::new(binlog));
         r.needs_full_resync = false;
         r.resyncs += 1;
+        crate::metrics::RESYNCS.inc();
         Ok(())
     }
 
@@ -1302,6 +1333,7 @@ impl ReplicaGroup {
         }
         r.needs_full_resync = false;
         r.resyncs += 1;
+        crate::metrics::RESYNCS.inc();
         Ok(true)
     }
 

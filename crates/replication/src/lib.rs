@@ -51,6 +51,7 @@
 pub mod binlog;
 pub mod failover;
 pub mod group;
+pub mod metrics;
 pub mod socket;
 pub mod transport;
 

@@ -404,11 +404,13 @@ pub fn serve_replica_stream(
                 }
                 Some(_) => {
                     // Fell off retention: the follower must pull a checkpoint.
+                    crate::metrics::FULLRESYNCS.inc();
                     stream.write_all(&RespValue::Simple("FULLRESYNC".into()).to_bytes())?;
                     cursor = None;
                 }
                 None => {
                     // `PSYNC ? -1`: stream a full checkpoint now.
+                    crate::metrics::FULLRESYNCS.inc();
                     stream.write_all(&RespValue::Simple("FULLRESYNC".into()).to_bytes())?;
                     send_checkpoint(&mut stream, source).map_err(io_other)?;
                     cursor = None; // follower re-PSYNCs at the edge
@@ -478,6 +480,8 @@ pub fn serve_replica_stream(
                             resume
                         };
                         let frame = batch_frame(seg, off, slice).to_bytes();
+                        crate::metrics::BATCH_FRAMES.inc();
+                        crate::metrics::BATCH_BYTES.add(frame.len() as u64);
                         shipper.ship(frame)?;
                     }
                     held = shipper.held.take();
@@ -514,6 +518,7 @@ pub fn serve_replica_stream(
                 }
                 Poll::Gap => {
                     // Retention ran past the cursor mid-stream.
+                    crate::metrics::FULLRESYNCS.inc();
                     stream.write_all(&RespValue::Simple("FULLRESYNC".into()).to_bytes())?;
                     cursor = None;
                     progressed = true;
@@ -539,6 +544,7 @@ fn send_checkpoint(stream: &mut TcpStream, source: &ReplicaSource) -> Result<()>
     ));
     let result = (|| -> Result<()> {
         let info = source.db.checkpoint_with(&staging, &mut |_| {})?;
+        crate::metrics::STAGED_BYTES.add(info.bytes_copied);
         let mut names: Vec<PathBuf> = std::fs::read_dir(&staging)
             .map_err(|e| transport_err("checkpoint staging", e))?
             .filter_map(|e| e.ok())
@@ -738,6 +744,10 @@ impl SocketTransport {
 }
 
 impl LogTransport for SocketTransport {
+    fn link_up(&self) -> bool {
+        self.is_connected()
+    }
+
     fn poll(&mut self) -> Result<Poll> {
         if !self.try_connect()? {
             // Leader unreachable: report no progress, keep the cursor.
@@ -1098,6 +1108,14 @@ impl SocketFollower {
         self.resyncs
     }
 
+    /// Is the replication link to the leader currently alive? A `pump()`
+    /// that found nothing cannot distinguish "idle leader" from "dead
+    /// socket awaiting reconnect" — this can, so it (not pump results) is
+    /// what `INFO replication` should report as `link_status`.
+    pub fn link_up(&self) -> bool {
+        self.transport.link_up()
+    }
+
     /// The transport's cursor in the leader's log, if it has one. A restart
     /// that persisted this can resume with a positional `PSYNC` instead of
     /// a full checkpoint pull (the leader still answers `FULLRESYNC` if the
@@ -1113,6 +1131,7 @@ impl SocketFollower {
         let outcome = match self.transport.poll()? {
             Poll::Gap => return self.full_resync(),
             Poll::Records(records) => {
+                crate::metrics::SHIP_RECORDS.add(records.len() as u64);
                 let mut applied = 0usize;
                 for record in &records {
                     match self.db.apply_replicated(record) {
@@ -1155,6 +1174,7 @@ impl SocketFollower {
         let lsn = self.db.last_seq();
         if self.last_acked != Some(lsn) || self.pumps_since_ack >= 32 {
             self.transport.ack(lsn)?;
+            crate::metrics::ACKS.inc();
             self.last_acked = Some(lsn);
             self.pumps_since_ack = 0;
         }
@@ -1184,6 +1204,7 @@ impl SocketFollower {
             Some((info.wal_segment, info.wal_offset))
         );
         self.resyncs += 1;
+        crate::metrics::RESYNCS.inc();
         let lsn = self.db.last_seq();
         self.transport.ack(lsn)?;
         self.last_acked = Some(lsn);

@@ -44,6 +44,17 @@ pub trait LogTransport: Send {
         Ok(())
     }
 
+    /// Is the transport's link to the leader currently alive? Filesystem
+    /// transports read the leader's log in place and are always "up"; a
+    /// socket transport reports whether it holds a live connection (a
+    /// severed one reads as down until the self-healing reconnect lands).
+    /// This is what a follower's `INFO replication` surfaces as
+    /// `link_status` — polling results cannot carry it, because a dead
+    /// socket polls as "no records", indistinguishable from an idle leader.
+    fn link_up(&self) -> bool {
+        true
+    }
+
     /// The leader's LSN as most recently advertised through the transport's
     /// own channel (socket keepalive pings). Everything at or below it was
     /// put on the wire *before* the advertisement, so a consumer that has

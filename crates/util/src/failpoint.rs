@@ -198,6 +198,22 @@ pub fn fired(point: &'static str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Every point that has fired since the last [`clear`]/[`disable`], with its
+/// count, sorted by point name. This is the attribution feed for chaos
+/// reports ("which injected faults actually fired this episode") and the
+/// metrics registry's `failpoint_fired_total` family.
+pub fn fired_counts() -> Vec<(&'static str, u64)> {
+    let mut counts: Vec<(&'static str, u64)> = injector()
+        .fired
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(&point, &n)| (point, n))
+        .collect();
+    counts.sort_unstable_by_key(|&(point, _)| point);
+    counts
+}
+
 /// RAII enable/disable, for tests that must not leak rules into neighbours.
 /// The registry is process-global, so tests using it must serialize (the
 /// chaos harness runs episodes sequentially for exactly this reason).

@@ -25,7 +25,7 @@
 //! This is the §3.3 deployment shape: replicas on different machines, the
 //! log shipped over the network, zero acked writes lost on leader death.
 
-use abase::core::{ReplicationControl, RespServer, TableEngine};
+use abase::core::{ReplInfo, ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
 use abase::proto::RespValue;
 use abase::replication::{FollowerPump, GroupConfig, ReplicaGroup, SocketFollower, WriteConcern};
@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,7 +70,28 @@ fn run_leader(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
 fn run_follower(dir: &str, leader: &str) -> Result<(), Box<dyn std::error::Error>> {
     let mut follower = SocketFollower::connect(dir, DbConfig::small_for_tests(), leader, 2, 0)?;
     let engine = Arc::new(TableEngine::from_db(follower.db()));
-    let server = RespServer::bind(Arc::clone(&engine), "127.0.0.1:0")?.read_only();
+    // Same wiring as `abase-server follow`: the pump thread owns the link,
+    // so shared cells feed `INFO replication` (applied LSN, link status).
+    let applied_lsn = Arc::new(AtomicU64::new(follower.last_seq()));
+    let link_up = Arc::new(AtomicBool::new(true));
+    let server = {
+        let applied_lsn = Arc::clone(&applied_lsn);
+        let link_up = Arc::clone(&link_up);
+        let leader = leader.to_string();
+        RespServer::bind(Arc::clone(&engine), "127.0.0.1:0")?
+            .read_only()
+            .with_repl_info(Arc::new(move || ReplInfo {
+                role: "follower",
+                last_lsn: applied_lsn.load(Ordering::Relaxed),
+                leader_addr: Some(leader.clone()),
+                link_status: if link_up.load(Ordering::Relaxed) {
+                    "up"
+                } else {
+                    "down"
+                },
+                followers: Vec::new(),
+            }))
+    };
     println!("ADDR {}", server.local_addr()?);
     std::io::stdout().flush()?;
     std::thread::spawn(move || loop {
@@ -78,6 +100,10 @@ fn run_follower(dir: &str, leader: &str) -> Result<(), Box<dyn std::error::Error
             Ok(_) => {}
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
+        applied_lsn.store(follower.last_seq(), Ordering::Relaxed);
+        // The transport knows whether the socket is alive; pump results
+        // don't (a dead link polls as "no records", same as an idle leader).
+        link_up.store(follower.link_up(), Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(1));
     });
     server.run()?;
@@ -114,6 +140,21 @@ impl Resp {
             buffer.extend_from_slice(&chunk[..n]);
         }
     }
+}
+
+/// `INFO replication` as text.
+fn info_text(client: &mut Resp) -> Result<String, Box<dyn std::error::Error>> {
+    match client.cmd(&["INFO", "replication"])? {
+        RespValue::Bulk(Some(b)) => Ok(String::from_utf8(b.to_vec())?),
+        other => Err(format!("INFO returned {other:?}").into()),
+    }
+}
+
+/// The value of a `key:value` INFO line.
+fn info_field(info: &str, key: &str) -> Option<String> {
+    info.lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}:")))
+        .map(|v| v.trim_end().to_string())
 }
 
 fn spawn_role(role: &[&str]) -> Result<(Child, String), Box<dyn std::error::Error>> {
@@ -182,8 +223,46 @@ fn run_driver() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("   50 writes quorum-acked, WAIT 1 -> 1");
 
-    println!("== reading the replicated keys from the follower process");
+    println!("== INFO replication on both processes");
+    let leader_info = info_text(&mut client)?;
+    assert_eq!(info_field(&leader_info, "role").as_deref(), Some("leader"));
+    let leader_lsn: u64 = info_field(&leader_info, "last_applied_lsn")
+        .ok_or("leader INFO lacks last_applied_lsn")?
+        .parse()?;
+    assert!(
+        leader_lsn >= 50,
+        "leader LSN {leader_lsn} below the 50 writes"
+    );
+    assert!(
+        leader_info.contains("follower0:id=2,"),
+        "leader INFO does not list the remote follower:\n{leader_info}"
+    );
+    println!("   leader: role=leader last_applied_lsn={leader_lsn}, lists follower id=2");
+
     let mut freader = Resp::connect(&follower_addr)?;
+    let follower_info = info_text(&mut freader)?;
+    assert_eq!(
+        info_field(&follower_info, "role").as_deref(),
+        Some("follower"),
+        "follower INFO:\n{follower_info}"
+    );
+    assert_eq!(
+        info_field(&follower_info, "leader_addr").as_deref(),
+        Some(leader_addr.as_str())
+    );
+    assert_eq!(
+        info_field(&follower_info, "link_status").as_deref(),
+        Some("up")
+    );
+    let follower_lsn: u64 = info_field(&follower_info, "last_applied_lsn")
+        .ok_or("follower INFO lacks last_applied_lsn")?
+        .parse()?;
+    assert!(follower_lsn > 0, "follower applied nothing");
+    println!(
+        "   follower: role=follower leader_addr={leader_addr} link=up last_applied_lsn={follower_lsn}"
+    );
+
+    println!("== reading the replicated keys from the follower process");
     for i in [0usize, 17, 49] {
         let reply = freader.cmd(&["GET", &format!("user:{i}")])?;
         assert_eq!(
@@ -207,6 +286,19 @@ fn run_driver() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("   follower still serves every acked write");
+    // The pump notices the dead socket; INFO flips the link to `down`.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let info = info_text(&mut freader)?;
+        if info_field(&info, "link_status").as_deref() == Some("down") {
+            println!("   follower INFO reports link_status:down after leader death");
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!("link never reported down:\n{info}").into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
     let reply = freader.cmd(&["SET", "rogue", "write"])?;
     match reply {
         RespValue::Error(e) if e.starts_with("READONLY") => {

@@ -28,11 +28,11 @@
 //! abase-server 127.0.0.1:7380 ./follower-data follow 127.0.0.1:7379
 //! ```
 
-use abase::core::{ReplicationControl, RespServer, TableEngine};
+use abase::core::{ReplInfo, ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
 use abase::replication::{FollowerPump, GroupConfig, ReplicaGroup, SocketFollower, WriteConcern};
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -67,9 +67,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Apply `ABASE_SLOWLOG_MICROS` (capture threshold in µs; `0` logs every
+/// command, negative disables) to a freshly bound server's SLOWLOG.
+fn apply_slowlog_env(server: &RespServer) {
+    if let Some(micros) = std::env::var("ABASE_SLOWLOG_MICROS")
+        .ok()
+        .and_then(|v| v.parse::<i64>().ok())
+    {
+        server.slowlog().set_threshold_micros(micros);
+    }
+}
+
 fn run_plain(addr: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Arc::new(TableEngine::open(dir, DbConfig::default())?);
     let server = RespServer::bind(Arc::clone(&engine), addr)?;
+    apply_slowlog_env(&server);
     println!(
         "abase-server listening on {} (data in {dir}, unreplicated)",
         server.local_addr()?
@@ -100,6 +112,7 @@ fn run_replicated(
     let group = Arc::new(Mutex::new(group));
     let server = RespServer::bind(Arc::clone(&engine), addr)?
         .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+    apply_slowlog_env(&server);
     println!(
         "abase-server listening on {} (data in {dir}, {} local replica(s){})",
         server.local_addr()?,
@@ -142,7 +155,30 @@ fn run_follower(
     let mut follower =
         SocketFollower::connect(dir, DbConfig::default(), leader, replica_id, listening_port)?;
     let engine = Arc::new(TableEngine::from_db(follower.db()));
-    let server = RespServer::bind(Arc::clone(&engine), addr)?.read_only();
+    // The pump loop owns the link the server cannot see; these shared cells
+    // feed `INFO replication` on the follower (role, applied LSN, link
+    // status) so it is no longer blind about its own replication state.
+    let applied_lsn = Arc::new(AtomicU64::new(follower.last_seq()));
+    let link_up = Arc::new(AtomicBool::new(true));
+    let server = {
+        let applied_lsn = Arc::clone(&applied_lsn);
+        let link_up = Arc::clone(&link_up);
+        let leader = leader.to_string();
+        RespServer::bind(Arc::clone(&engine), addr)?
+            .read_only()
+            .with_repl_info(Arc::new(move || ReplInfo {
+                role: "follower",
+                last_lsn: applied_lsn.load(Ordering::Relaxed),
+                leader_addr: Some(leader.clone()),
+                link_status: if link_up.load(Ordering::Relaxed) {
+                    "up"
+                } else {
+                    "down"
+                },
+                followers: Vec::new(),
+            }))
+    };
+    apply_slowlog_env(&server);
     println!(
         "abase-server listening on {} (data in {dir}, following {leader} as replica {replica_id}, read-only)",
         server.local_addr()?
@@ -161,6 +197,11 @@ fn run_follower(
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
         }
+        applied_lsn.store(follower.last_seq(), Ordering::Relaxed);
+        // The transport tracks socket liveness; pump results can't (a dead
+        // link polls as "no records", indistinguishable from an idle
+        // leader), so link_status comes from the transport.
+        link_up.store(follower.link_up(), Ordering::Relaxed);
         std::thread::sleep(std::time::Duration::from_millis(2));
     });
     server.run()?;

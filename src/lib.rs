@@ -44,6 +44,7 @@ pub use abase_cache as cache;
 pub use abase_core as core;
 pub use abase_forecast as forecast;
 pub use abase_lavastore as lavastore;
+pub use abase_obs as obs;
 pub use abase_proto as proto;
 pub use abase_quota as quota;
 pub use abase_replication as replication;
