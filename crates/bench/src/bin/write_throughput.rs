@@ -1,0 +1,112 @@
+//! Multi-writer durable-write throughput: striped engine vs single-lock
+//! baseline.
+//!
+//! N writer threads issue durable puts (`sync_wal: true`) against
+//! `lavastore::Db`. Two arms:
+//!
+//! - **striped** — the current engine: keys hash across stripes, concurrent
+//!   writers append frames into the shared group-commit buffer, and one
+//!   fsync covers every writer waiting in the batch. While the sync leader
+//!   blocks in `sync_data`, the other writer threads keep appending, so
+//!   durable throughput scales with writers even on a single core.
+//! - **single-lock** — the seed engine's discipline: one stripe and a global
+//!   write lock held across the entire put (WAL append + fsync + memtable
+//!   apply), the way the old `RwLock<Inner>` serialized every write. Only
+//!   one writer can ever be inside the engine, so every put pays a private
+//!   fsync and throughput stays flat no matter how many writers pile up.
+//!
+//! Writes `BENCH_write.json` at the repo root. `ABASE_BENCH_SMOKE=1` shrinks
+//! the op counts for CI smoke runs (the numbers are then noisy and only the
+//! JSON shape is asserted).
+
+use abase_bench::banner;
+use abase_lavastore::{Db, DbConfig};
+use abase_util::TestDir;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+const VALUE_BYTES: usize = 256;
+
+fn main() {
+    let smoke = std::env::var("ABASE_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (ops, trials) = if smoke { (800, 1) } else { (24_000, 3) };
+    banner(
+        "WRITE",
+        "Durable write throughput: striped group commit vs single lock",
+        "one fsync covers the whole writer batch; striping wins at >= 4 writers",
+    );
+
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        // Arms alternate per trial and the best trial wins per arm: peak
+        // throughput is the least noise-contaminated estimate on a shared
+        // machine.
+        let mut striped = 0f64;
+        let mut single = 0f64;
+        for _ in 0..trials {
+            striped = striped.max(run(threads, ops, 8, false, "striped"));
+            single = single.max(run(threads, ops, 1, true, "single"));
+        }
+        println!(
+            "{threads} writer(s): striped {striped:>9.0} ops/s  single-lock {single:>9.0} ops/s  speedup {:.2}x",
+            striped / single
+        );
+        rows.push((threads, striped, single));
+    }
+
+    let results = rows
+        .iter()
+        .map(|(threads, striped, single)| {
+            format!(
+                "    {{\"threads\": {threads}, \"striped_ops_per_sec\": {striped:.1}, \
+                 \"single_lock_ops_per_sec\": {single:.1}, \"speedup\": {:.3}}}",
+                striped / single
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"write_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"ops_per_config\": {ops},\n  \"value_bytes\": {VALUE_BYTES},\n  \
+         \"sync_wal\": true,\n  \"results\": [\n{results}\n  ]\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_write.json");
+    std::fs::write(out, &json).expect("write BENCH_write.json");
+    println!("wrote {out}");
+}
+
+/// `threads` writers split `ops` durable puts over disjoint key ranges;
+/// returns ops/s. With `global_lock` every put runs under one process-wide
+/// write lock, reproducing the seed engine's `RwLock<Inner>` serialization.
+fn run(threads: usize, ops: usize, n_stripes: u32, global_lock: bool, tag: &str) -> f64 {
+    let dir = TestDir::new(&format!("write-bench-{tag}-{threads}"));
+    let config = DbConfig {
+        n_stripes,
+        sync_wal: true,
+        ..DbConfig::default()
+    };
+    let db = Arc::new(Db::open(dir.path(), config).unwrap());
+    let engine_lock = std::sync::Mutex::new(());
+    let value = vec![b'v'; VALUE_BYTES];
+    let per = ops / threads;
+    // Warmup outside the timed window (directory creation, first WAL frame).
+    db.put(b"warmup", &value, None, 0).unwrap();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            let value = &value;
+            let engine_lock = &engine_lock;
+            scope.spawn(move || {
+                for i in 0..per {
+                    let key = format!("w{t:02}-{i:08}");
+                    let guard = global_lock.then(|| engine_lock.lock().unwrap());
+                    db.put(key.as_bytes(), value, None, 0).unwrap();
+                    drop(guard);
+                }
+            });
+        }
+    });
+    (per * threads) as f64 / started.elapsed().as_secs_f64()
+}

@@ -24,6 +24,24 @@ pub static WAL_FSYNC_MICROS: LazyHisto = LazyHisto::new(
     "WAL fsync latency on durable appends",
 );
 
+/// Group-commit fsyncs issued (each may cover many commits).
+pub static GROUP_COMMIT_FSYNCS: LazyCounter = LazyCounter::new(
+    "abase_lava_group_commit_fsyncs_total",
+    "Group-commit fsyncs issued; commits_total / fsyncs_total is the amortization factor",
+);
+
+/// Durable commits acknowledged (appends whose seq an fsync covered).
+pub static GROUP_COMMIT_COMMITS: LazyCounter = LazyCounter::new(
+    "abase_lava_group_commit_commits_total",
+    "Durable commits acknowledged by the group-commit WAL",
+);
+
+/// Frames covered per group-commit fsync (batch size).
+pub static GROUP_COMMIT_BATCH_FRAMES: LazyHisto = LazyHisto::new(
+    "abase_lava_group_commit_batch_frames",
+    "WAL frames made durable per group-commit fsync",
+);
+
 /// Memtable flushes completed.
 pub static FLUSHES: LazyCounter = LazyCounter::new(
     "abase_lava_flushes_total",

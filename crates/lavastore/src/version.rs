@@ -13,7 +13,7 @@ use crate::error::{Error, Result};
 use bytes::Bytes;
 use std::path::Path;
 
-const MANIFEST_MAGIC: u32 = 0xAB5E_3513;
+const MANIFEST_MAGIC: u32 = 0xAB5E_3514;
 
 /// Metadata for one live SST file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,10 @@ pub struct SstMeta {
     pub id: u64,
     /// LSM level.
     pub level: u32,
+    /// Engine stripe that owns this file: flushes and compactions stay
+    /// within one stripe, so reopening a striped database can hand every
+    /// file straight back to its stripe.
+    pub stripe: u32,
     /// Smallest user key.
     pub min_key: Bytes,
     /// Largest user key.
@@ -53,16 +57,22 @@ pub struct Version {
     /// Recovery replays segments from here; older segments still on disk are
     /// a retained backlog for replication tail readers.
     pub wal_floor: u64,
+    /// Stripe count the database was created with. Keys hash to stripes, so
+    /// the count is fixed at creation and persisted here; reopening always
+    /// uses the manifest's value regardless of the caller's config.
+    pub n_stripes: u32,
 }
 
 impl Version {
-    /// An empty version with `n_levels` levels.
+    /// An empty version with `n_levels` levels (single-stripe by default;
+    /// [`crate::db::Db`] sets `n_stripes` when creating a fresh database).
     pub fn new(n_levels: usize) -> Self {
         Self {
             levels: vec![Vec::new(); n_levels],
             next_file_id: 1,
             next_seq: 1,
             wal_floor: 0,
+            n_stripes: 1,
         }
     }
 
@@ -127,12 +137,14 @@ impl Version {
         put_u64(&mut body, self.next_file_id);
         put_u64(&mut body, self.next_seq);
         put_u64(&mut body, self.wal_floor);
+        put_u32(&mut body, self.n_stripes);
         put_varint(&mut body, self.levels.len() as u64);
         for files in &self.levels {
             put_varint(&mut body, files.len() as u64);
             for m in files {
                 put_u64(&mut body, m.id);
                 put_u32(&mut body, m.level);
+                put_u32(&mut body, m.stripe);
                 put_len_prefixed(&mut body, &m.min_key);
                 put_len_prefixed(&mut body, &m.max_key);
                 put_u64(&mut body, m.file_size);
@@ -167,6 +179,7 @@ impl Version {
         let next_file_id = get_u64(body, &mut pos)?;
         let next_seq = get_u64(body, &mut pos)?;
         let wal_floor = get_u64(body, &mut pos)?;
+        let n_stripes = get_u32(body, &mut pos)?;
         let n_levels = get_varint(body, &mut pos)? as usize;
         let mut levels = Vec::with_capacity(n_levels);
         for _ in 0..n_levels {
@@ -175,6 +188,7 @@ impl Version {
             for _ in 0..n_files {
                 let id = get_u64(body, &mut pos)?;
                 let level = get_u32(body, &mut pos)?;
+                let stripe = get_u32(body, &mut pos)?;
                 let min_key = Bytes::copy_from_slice(get_len_prefixed(body, &mut pos)?);
                 let max_key = Bytes::copy_from_slice(get_len_prefixed(body, &mut pos)?);
                 let file_size = get_u64(body, &mut pos)?;
@@ -182,6 +196,7 @@ impl Version {
                 files.push(SstMeta {
                     id,
                     level,
+                    stripe,
                     min_key,
                     max_key,
                     file_size,
@@ -195,6 +210,7 @@ impl Version {
             next_file_id,
             next_seq,
             wal_floor,
+            n_stripes,
         })
     }
 
@@ -226,6 +242,7 @@ mod tests {
         SstMeta {
             id,
             level,
+            stripe: 0,
             min_key: Bytes::copy_from_slice(min.as_bytes()),
             max_key: Bytes::copy_from_slice(max.as_bytes()),
             file_size: 1000,

@@ -8,16 +8,28 @@
 //! same WAL), so pinning it here pins the replication plane's durability too.
 
 use abase_lavastore::record::Record;
-use abase_lavastore::wal::Wal;
+use abase_lavastore::wal::{Wal, WalOptions};
 use abase_lavastore::{Db, DbConfig};
 use abase_util::TestDir;
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The WAL segment currently receiving appends, by id.
 fn live_wal(db: &Db) -> PathBuf {
     Wal::segment_path(db.dir(), db.current_wal_segment())
+}
+
+/// Small-engine config with a memtable large enough that no stripe flushes
+/// mid-test: these tests truncate the live WAL and assume it holds every
+/// write, so an automatic flush (which rotates the WAL) would invalidate the
+/// simulated crash.
+fn cfg() -> DbConfig {
+    DbConfig {
+        memtable_bytes: 1 << 20,
+        ..DbConfig::small_for_tests()
+    }
 }
 
 /// Write `n` records without flushing, drop the engine (simulating a crash
@@ -27,7 +39,7 @@ fn crash_after(tag: &str, n: usize, keep_fraction: f64) -> (TestDir, usize) {
     let dir = TestDir::new(tag);
     let wal_path;
     {
-        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), cfg()).unwrap();
         for i in 0..n {
             db.put(
                 format!("key-{i:04}").as_bytes(),
@@ -71,7 +83,7 @@ fn torn_tail_recovers_every_complete_record() {
     for (i, fraction) in [0.15, 0.4, 0.63, 0.87, 0.999].iter().enumerate() {
         let n = 40;
         let (dir, _) = crash_after(&format!("torn-{i}"), n, *fraction);
-        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), cfg()).unwrap();
         let prefix = surviving_prefix(&db, n);
         // A clean prefix: everything after the last survivor is absent.
         for j in prefix..n {
@@ -99,7 +111,7 @@ fn byte_exact_truncation_sweep() {
     let dir = TestDir::new("sweep");
     let wal_path;
     {
-        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), cfg()).unwrap();
         for i in 0..n {
             db.put(format!("key-{i:04}").as_bytes(), b"value", None, 0)
                 .unwrap();
@@ -133,7 +145,7 @@ fn crash_recovery_matches_model_state() {
     let dir = TestDir::new("model");
     let wal_path;
     {
-        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), cfg()).unwrap();
         for i in 0..30 {
             let key = format!("k{:02}", i % 10);
             if i % 7 == 3 {
@@ -161,7 +173,7 @@ fn crash_recovery_matches_model_state() {
             abase_lavastore::record::RecordKind::Delete => model.insert(r.key.to_vec(), None),
         };
     }
-    let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+    let db = Db::open(dir.path(), cfg()).unwrap();
     for (key, expect) in &model {
         let got = db.get(key, 0).unwrap().value;
         assert_eq!(
@@ -213,9 +225,9 @@ proptest! {
         let path = dir.join("batch.log");
         let records = batch_records(&ops);
         {
-            let mut wal = Wal::create(&path, false).unwrap();
+            let wal = Wal::create(&path, 0, 1, WalOptions::default()).unwrap();
             for r in &records {
-                wal.append(r).unwrap();
+                assert!(wal.append_at(r).unwrap());
             }
             wal.flush().unwrap();
         }
@@ -238,6 +250,74 @@ proptest! {
         prop_assert_eq!(previous, records.len(), "full batch must fully recover");
     }
 
+    /// Torn tails of a *group-committed* batch: four writer threads append
+    /// concurrently through one shared WAL with durable commits (each fsync
+    /// covers a batch of writers). Truncating the log at every byte offset
+    /// must still recover a gapless LSN prefix `1..=m` — group commit batches
+    /// frames but never reorders or tears the sequence stream.
+    #[test]
+    fn group_committed_batch_torn_at_every_byte_offset(
+        per_writer in 1usize..6,
+        value_len in 0usize..48,
+    ) {
+        let dir = TestDir::new("prop-group");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        let path = dir.join("group.log");
+        const WRITERS: usize = 4;
+        {
+            let wal = Arc::new(
+                Wal::create(
+                    &path,
+                    0,
+                    1,
+                    WalOptions {
+                        sync_on_append: true,
+                        ..WalOptions::default()
+                    },
+                )
+                .unwrap(),
+            );
+            let mut handles = Vec::new();
+            for t in 0..WRITERS {
+                let wal = Arc::clone(&wal);
+                let handle = std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        let mut r = Record::put(
+                            format!("w{t}-{i:03}").into_bytes(),
+                            vec![b'x'; value_len],
+                            0,
+                            None,
+                        );
+                        let seq = wal.append_next(&mut r).unwrap();
+                        wal.commit(seq).unwrap();
+                    }
+                });
+                handles.push(handle);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            prop_assert_eq!(wal.last_allocated(), (WRITERS * per_writer) as u64);
+            prop_assert_eq!(wal.durable_seq(), (WRITERS * per_writer) as u64);
+        }
+        let full = std::fs::read(&path).unwrap();
+        let mut previous = 0usize;
+        for keep in 0..=full.len() {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            let survivors = Wal::replay(&path).unwrap();
+            for (idx, r) in survivors.iter().enumerate() {
+                prop_assert_eq!(r.seq, idx as u64 + 1, "LSN gap at keep={}", keep);
+            }
+            prop_assert!(
+                survivors.len() >= previous,
+                "prefix shrank at keep={}",
+                keep
+            );
+            previous = survivors.len();
+        }
+        prop_assert_eq!(previous, WRITERS * per_writer, "durable batch fully recovers");
+    }
+
     /// Engine-level recovery at an arbitrary (fractional) byte offset: the
     /// reopened `Db` must expose exactly the surviving record prefix — same
     /// state as an independent model replay — and continue the sequence
@@ -251,7 +331,7 @@ proptest! {
         let dir = TestDir::new("prop-reopen");
         let wal_path;
         {
-            let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+            let db = Db::open(dir.path(), cfg()).unwrap();
             for &(is_delete, key_id, value_len, ttl) in &ops {
                 let key = format!("key-{key_id:03}");
                 if is_delete {
@@ -285,7 +365,7 @@ proptest! {
                 }
             };
         }
-        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), cfg()).unwrap();
         prop_assert_eq!(db.last_seq(), survivors.len() as u64);
         for (key, expect) in &model {
             let got = db.get(key, 0).unwrap().value;
@@ -311,7 +391,7 @@ fn follower_crash_mid_apply_recovers_like_leader() {
     let dir = TestDir::new("follower");
     let wal_path;
     {
-        let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+        let db = Db::open(dir.path(), cfg()).unwrap();
         for i in 0..20 {
             let record = Record::put(
                 format!("key-{i:04}").as_bytes().to_vec(),
@@ -326,7 +406,7 @@ fn follower_crash_mid_apply_recovers_like_leader() {
     }
     let data = std::fs::read(&wal_path).unwrap();
     std::fs::write(&wal_path, &data[..data.len() - 5]).unwrap();
-    let db = Db::open(dir.path(), DbConfig::small_for_tests()).unwrap();
+    let db = Db::open(dir.path(), cfg()).unwrap();
     let recovered = db.last_seq();
     assert!(
         (1..20).contains(&recovered),
@@ -351,4 +431,105 @@ fn follower_crash_mid_apply_recovers_like_leader() {
             .value
             .is_some());
     }
+}
+
+#[test]
+fn concurrent_writer_crash_recovers_committed_prefix() {
+    // Four writers race through the striped engine's shared group-commit WAL,
+    // then the log is torn at several offsets. Every reopen must expose a
+    // gapless LSN prefix: `last_seq()` equals the survivor count and every
+    // surviving record's key reads back.
+    let dir = TestDir::new("group-crash");
+    let wal_path;
+    {
+        let db = Arc::new(Db::open(dir.path(), cfg()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    db.put(format!("w{t}-{i:03}").as_bytes(), b"v", None, 0)
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        db.flush_wal().unwrap();
+        wal_path = live_wal(&db);
+    }
+    let full = std::fs::read(&wal_path).unwrap();
+    // Increasing cuts so each reopen's persisted seq counter never exceeds
+    // the survivors of the next (a reopen persists next_seq in the manifest).
+    for cut in [
+        1usize,
+        full.len() / 3,
+        full.len() / 2,
+        full.len() - 3,
+        full.len(),
+    ] {
+        std::fs::write(&wal_path, &full[..cut]).unwrap();
+        let survivors = Wal::replay(&wal_path).unwrap();
+        // Frames hit the file in allocation order even with racing writers,
+        // so any surviving prefix is a gapless seq run from 1.
+        for (idx, r) in survivors.iter().enumerate() {
+            assert_eq!(r.seq, idx as u64 + 1, "LSN gap at cut={cut}");
+        }
+        let db = Db::open(dir.path(), cfg()).unwrap();
+        assert_eq!(db.last_seq(), survivors.len() as u64, "cut={cut}");
+        for r in &survivors {
+            assert!(
+                db.get(&r.key, 0).unwrap().value.is_some(),
+                "committed write lost at cut={cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_cursor_excludes_torn_frame_bytes() {
+    // A torn write (simulated crash mid-append) leaves partial-frame bytes in
+    // the live WAL file. A checkpoint taken afterwards must record a cursor
+    // on the last complete frame boundary — never mid-torn-frame — so the
+    // clone opens cleanly with exactly the pre-tear state.
+    use abase_util::failpoint::{self, FaultAction, ScopedInjector};
+    let dir = TestDir::new("ckpt-torn");
+    let dest = TestDir::new("ckpt-torn-dest");
+    let db = Db::open(dir.path(), cfg()).unwrap();
+    for i in 0..10 {
+        db.put(format!("key-{i:04}").as_bytes(), b"v", None, 0)
+            .unwrap();
+    }
+    let wal_path = live_wal(&db);
+    let _guard = ScopedInjector::enable();
+    failpoint::install(
+        "wal.append",
+        Some(&wal_path.display().to_string()),
+        FaultAction::TornWrite { keep_bytes: 7 },
+        0,
+        1,
+    );
+    assert!(db.put(b"torn", b"lost", None, 0).is_err());
+    let info = db.checkpoint(dest.path()).unwrap();
+    assert_eq!(info.last_seq, 10);
+    // The clone's live segment holds exactly the ten complete frames: the
+    // cursor excluded the torn bytes that follow them in the source file.
+    let clone_wal = Wal::segment_path(dest.path(), info.wal_segment);
+    let records = Wal::replay(&clone_wal).unwrap();
+    assert_eq!(records.len(), 10);
+    assert_eq!(
+        std::fs::metadata(&clone_wal).unwrap().len(),
+        info.wal_offset
+    );
+    let clone = Db::open(dest.path(), cfg()).unwrap();
+    assert_eq!(clone.last_seq(), 10);
+    for i in 0..10 {
+        assert!(clone
+            .get(format!("key-{i:04}").as_bytes(), 0)
+            .unwrap()
+            .value
+            .is_some());
+    }
+    assert!(clone.get(b"torn", 0).unwrap().value.is_none());
 }

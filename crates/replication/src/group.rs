@@ -545,8 +545,11 @@ impl ReplicaGroup {
         now: SimTime,
     ) -> Result<Lsn> {
         let leader = self.leader_db()?;
-        leader.put(key, value, expires_at, now)?;
-        let lsn = leader.last_seq();
+        // The write's own returned LSN, not `last_seq()`: with the striped
+        // engine, concurrent writers can leave the visible watermark
+        // momentarily behind this write's seq (or ahead of it, crediting us
+        // with someone else's write).
+        let lsn = leader.put(key, value, expires_at, now)?;
         self.commit(lsn)?;
         Ok(lsn)
     }
@@ -554,8 +557,7 @@ impl ReplicaGroup {
     /// Delete `key` through the leader under the group's write concern.
     pub fn delete(&mut self, key: &[u8], now: SimTime) -> Result<Lsn> {
         let leader = self.leader_db()?;
-        leader.delete(key, now)?;
-        let lsn = leader.last_seq();
+        let lsn = leader.delete(key, now)?;
         self.commit(lsn)?;
         Ok(lsn)
     }
@@ -1239,6 +1241,11 @@ impl ReplicaGroup {
         // leader, any caught-up bystander) seek straight to the new leader's
         // live append position; laggards re-attach from the retained log and
         // dedup forward (the same catch-up path a crash promotion uses).
+        // Flush the new leader's group-commit buffer first: `wal_position`
+        // reports only flushed bytes, and frames still sitting in the buffer
+        // must land below the seek point, not after it — a follower seeking
+        // past them would silently skip records until the gap check fired.
+        self.find(to)?.db.flush_wal()?;
         let wal_position = self.find(to)?.db.wal_position();
         for r in &mut self.replicas {
             if r.id == to {
@@ -1947,6 +1954,59 @@ mod tests {
         let lsn = g.put(b"post", b"w", None, 0).unwrap();
         g.tick().unwrap();
         assert_eq!(g.acked_lsn(10).unwrap(), lsn);
+        assert!(g.db(10).unwrap().get(b"post", 0).unwrap().value.is_some());
+    }
+
+    #[test]
+    fn handover_flushes_new_leader_buffer_before_capturing_seek_position() {
+        // Regression: handover captures the new leader's WAL position as the
+        // seek point for caught-up followers. Everything the new leader
+        // applied as a follower can still sit in its group-commit buffer
+        // (nothing below reaches the byte trigger, and the interval trigger
+        // is cranked up so timing cannot drain it) — without an explicit
+        // flush, the captured position and the on-disk log disagree, and a
+        // follower seeking there diverges from the frames it ships next.
+        let dir = TestDir::new("handover-buf");
+        let mut g = ReplicaGroup::bootstrap(
+            1,
+            dir.path(),
+            &[10, 20],
+            GroupConfig {
+                write_concern: WriteConcern::All,
+                db: DbConfig {
+                    group_commit_interval_ms: 60_000,
+                    ..DbConfig::small_for_tests()
+                },
+                wait_timeout: Duration::from_millis(10),
+            },
+        )
+        .unwrap();
+        for i in 0..10 {
+            g.put(format!("k{i}").as_bytes(), b"v", None, 0).unwrap();
+        }
+        let (seg_before, pos_before) = g.db(20).unwrap().wal_position();
+        g.handover(20).unwrap();
+        let (seg_after, pos_after) = g.db(20).unwrap().wal_position();
+        assert_eq!(seg_before, seg_after);
+        assert!(
+            pos_after > pos_before,
+            "handover must flush the new leader's buffered frames before \
+             capturing the seek position ({pos_before} -> {pos_after})"
+        );
+        // The old leader re-attached at the flushed position: the next write
+        // ships to it without a gap or a forced resync.
+        let lsn = g.put(b"post", b"w", None, 0).unwrap();
+        g.tick().unwrap();
+        assert_eq!(g.acked_lsn(10).unwrap(), lsn);
+        let s10 = g
+            .status()
+            .replicas
+            .iter()
+            .find(|r| r.id == 10)
+            .cloned()
+            .unwrap();
+        assert_eq!(s10.role, Role::Follower);
+        assert_eq!(s10.resyncs, 0, "bad seek position forced a resync");
         assert!(g.db(10).unwrap().get(b"post", 0).unwrap().value.is_some());
     }
 
