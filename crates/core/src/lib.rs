@@ -36,11 +36,16 @@
 //! * [`server`] — a TCP front end speaking RESP2 over the table engine, so
 //!   any Redis client can talk to a node; supports `WAIT`/`REPLCONF` against
 //!   an attached replica group.
+//! * [`event_loop`] — the epoll worker pool behind [`server`]: sharded
+//!   per-connection state machines with real pipelining, a max-clients cap,
+//!   an idle-connection reaper, and deterministic shutdown.
 
 #![deny(missing_docs)]
 
 pub mod cluster;
+mod conn;
 pub mod engine;
+pub mod event_loop;
 pub mod meta;
 pub mod metrics;
 pub mod migration;
@@ -57,6 +62,7 @@ pub use cluster::{
     ReplicatedClusterConfig, TenantSpec,
 };
 pub use engine::TableEngine;
+pub use event_loop::{FrontEndConfig, ShutdownHandle};
 pub use meta::{FailoverPlan, MetaServer, RecoveryModel, ReplicaHealth, ReplicaSet};
 pub use migration::{
     MigrationConfig, MigrationEngine, MigrationError, MigrationReport, MigrationRequest,

@@ -2,7 +2,9 @@
 //! split, and migration. Recording sites live in `server.rs`, `proxy.rs`,
 //! `migration.rs`, and `cluster.rs`; this module only owns the handles.
 
-use abase_obs::{LazyCounter, LazyCounterFamily, LazyGauge, LazyHisto, LazyHistoFamily};
+use abase_obs::{
+    LazyCounter, LazyCounterFamily, LazyGauge, LazyGaugeFamily, LazyHisto, LazyHistoFamily,
+};
 
 // --- RESP serving -----------------------------------------------------------
 
@@ -10,6 +12,37 @@ use abase_obs::{LazyCounter, LazyCounterFamily, LazyGauge, LazyHisto, LazyHistoF
 pub static CONNECTIONS: LazyGauge = LazyGauge::new(
     "abase_server_connections",
     "Live client connections on the RESP server",
+);
+
+// --- Event-loop front end ---------------------------------------------------
+
+/// Open connections, by event-loop worker (`accept` while still unassigned).
+pub static CONN_OPEN: LazyGaugeFamily = LazyGaugeFamily::new(
+    "abase_conn_open",
+    "worker",
+    "Open connections, by event-loop worker",
+);
+
+/// Connections accepted, by the event-loop worker they were sharded to.
+pub static CONN_ACCEPTED: LazyCounterFamily = LazyCounterFamily::new(
+    "abase_conn_accepted_total",
+    "worker",
+    "Connections accepted, by event-loop worker",
+);
+
+/// Connections evicted (idle reaper per worker; `accept` = refused at the
+/// max-clients cap).
+pub static CONN_EVICTED: LazyCounterFamily = LazyCounterFamily::new(
+    "abase_conn_evicted_total",
+    "worker",
+    "Connections evicted by the idle reaper (per worker) or refused at the max-clients cap (`accept`)",
+);
+
+/// Commands executed per drained pipeline batch (one readable event = one
+/// batch = one vectored write).
+pub static PIPELINE_BATCH: LazyHisto = LazyHisto::new(
+    "abase_pipeline_batch_commands",
+    "Commands executed per drained pipeline batch",
 );
 
 /// Commands served, by command name.

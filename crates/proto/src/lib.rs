@@ -16,4 +16,4 @@ pub mod command;
 pub mod resp;
 
 pub use command::{Command, CommandKind, ParseCommandError, SlowlogSub};
-pub use resp::{ParseError, RespValue};
+pub use resp::{Batch, ParseError, RespValue};

@@ -174,6 +174,42 @@ impl RespValue {
             other => Err(ParseError::BadType(other)),
         }
     }
+
+    /// Parse **every** complete frame at the head of `input` — the
+    /// pipelining entry point: one readable event drains one buffer into a
+    /// whole batch of commands, executed together and answered with a single
+    /// vectored write.
+    ///
+    /// Returns the parsed frames plus the total byte count they consumed
+    /// (the caller drains exactly that prefix and keeps the partial-frame
+    /// tail for the next read). A malformed frame surfaces as `Err` only
+    /// after the frames preceding it — the caller serves those, then reports
+    /// the protocol error in order.
+    pub fn parse_batch(input: &[u8]) -> (Batch, Result<(), ParseError>) {
+        let mut frames = Vec::new();
+        let mut consumed = 0;
+        loop {
+            match RespValue::parse(&input[consumed..]) {
+                Ok(Some((value, used))) => {
+                    frames.push(value);
+                    consumed += used;
+                }
+                Ok(None) => return (Batch { frames, consumed }, Ok(())),
+                Err(e) => return (Batch { frames, consumed }, Err(e)),
+            }
+        }
+    }
+}
+
+/// The complete frames [`RespValue::parse_batch`] drained from a buffer and
+/// how many bytes of that buffer they covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Every complete frame, in wire order.
+    pub frames: Vec<RespValue>,
+    /// Total bytes the frames consumed (the partial-frame tail, if any,
+    /// starts here).
+    pub consumed: usize,
 }
 
 /// Read up to the first CRLF; returns (line content, bytes consumed incl CRLF).
@@ -271,5 +307,38 @@ mod tests {
     fn binary_safe_bulk() {
         let v = RespValue::bulk(vec![0u8, 13, 10, 255]);
         roundtrip(&v);
+    }
+
+    #[test]
+    fn parse_batch_drains_every_complete_frame_and_keeps_the_tail() {
+        let mut buf =
+            RespValue::array(vec![RespValue::bulk("GET"), RespValue::bulk("a")]).to_bytes();
+        buf.extend_from_slice(&RespValue::Integer(5).to_bytes());
+        let full_len = buf.len();
+        // A partial third frame: batch parsing must stop cleanly before it.
+        buf.extend_from_slice(b"*2\r\n$3\r\nGET");
+        let (batch, status) = RespValue::parse_batch(&buf);
+        status.unwrap();
+        assert_eq!(batch.frames.len(), 2);
+        assert_eq!(batch.consumed, full_len);
+        assert_eq!(batch.frames[1], RespValue::Integer(5));
+    }
+
+    #[test]
+    fn parse_batch_reports_frames_before_a_protocol_error() {
+        let mut buf = RespValue::Integer(1).to_bytes();
+        buf.extend_from_slice(b"!bogus\r\n");
+        let (batch, status) = RespValue::parse_batch(&buf);
+        assert_eq!(batch.frames, vec![RespValue::Integer(1)]);
+        assert_eq!(batch.consumed, 4);
+        assert_eq!(status, Err(ParseError::BadType(b'!')));
+    }
+
+    #[test]
+    fn parse_batch_of_empty_input_is_empty() {
+        let (batch, status) = RespValue::parse_batch(b"");
+        status.unwrap();
+        assert!(batch.frames.is_empty());
+        assert_eq!(batch.consumed, 0);
     }
 }

@@ -14,18 +14,23 @@
 //! * [`failpoint`] — deterministic fault injection: named fail points in the
 //!   storage and replication planes that a chaos harness arms from a seeded
 //!   RNG (disabled — one atomic load — in normal operation).
+//! * [`poller`] — a thin epoll wrapper (raw syscall bindings, no external
+//!   crates) behind a safe `Poller`/`Waker` API: the readiness engine under
+//!   the event-driven RESP front end.
 
 #![deny(missing_docs)]
 
 pub mod clock;
 pub mod failpoint;
 pub mod histogram;
+pub mod poller;
 pub mod series;
 pub mod stats;
 pub mod testdir;
 
 pub use clock::{SimClock, SimTime, Ticks};
 pub use histogram::LatencyHistogram;
+pub use poller::{Event, Events, Interest, Poller, Waker};
 pub use series::{hour_of_day_profile, Aggregation, TimeSeries};
 pub use stats::{percentile, percentile_sorted, Ewma, MovingAverage, OnlineStats, WindowedRate};
 pub use testdir::TestDir;

@@ -78,9 +78,31 @@ fn apply_slowlog_env(server: &RespServer) {
     }
 }
 
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Front-end tuning from the environment: `ABASE_IO_THREADS` (event-loop
+/// worker count), `ABASE_MAX_CLIENTS` (connection cap), and
+/// `ABASE_IDLE_TIMEOUT_SECS` (idle-connection reaper; 0 disables).
+fn apply_front_end_env(mut server: RespServer) -> RespServer {
+    if let Some(workers) = env_parse::<usize>("ABASE_IO_THREADS") {
+        server = server.io_threads(workers);
+    }
+    if let Some(cap) = env_parse::<usize>("ABASE_MAX_CLIENTS") {
+        server = server.max_clients(cap);
+    }
+    if let Some(secs) = env_parse::<u64>("ABASE_IDLE_TIMEOUT_SECS") {
+        if secs > 0 {
+            server = server.idle_timeout(std::time::Duration::from_secs(secs));
+        }
+    }
+    server
+}
+
 fn run_plain(addr: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Arc::new(TableEngine::open(dir, DbConfig::default())?);
-    let server = RespServer::bind(Arc::clone(&engine), addr)?;
+    let server = apply_front_end_env(RespServer::bind(Arc::clone(&engine), addr)?);
     apply_slowlog_env(&server);
     println!(
         "abase-server listening on {} (data in {dir}, unreplicated)",
@@ -110,8 +132,10 @@ fn run_replicated(
     )?;
     let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
     let group = Arc::new(Mutex::new(group));
-    let server = RespServer::bind(Arc::clone(&engine), addr)?
-        .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
+    let server = apply_front_end_env(
+        RespServer::bind(Arc::clone(&engine), addr)?
+            .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>),
+    );
     apply_slowlog_env(&server);
     println!(
         "abase-server listening on {} (data in {dir}, {} local replica(s){})",
@@ -164,7 +188,7 @@ fn run_follower(
         let applied_lsn = Arc::clone(&applied_lsn);
         let link_up = Arc::clone(&link_up);
         let leader = leader.to_string();
-        RespServer::bind(Arc::clone(&engine), addr)?
+        apply_front_end_env(RespServer::bind(Arc::clone(&engine), addr)?)
             .read_only()
             .with_repl_info(Arc::new(move || ReplInfo {
                 role: "follower",
