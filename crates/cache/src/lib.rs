@@ -10,6 +10,8 @@
 //! * [`aulru`] — **Active-Update LRU (AU-LRU)**, the proxy-layer cache: entries carry
 //!   a TTL, and hot entries are proactively refreshed shortly before they expire so
 //!   that the expiry of a hot key never produces a thundering herd on the data node.
+//! * [`sharded`] — a lock-striped, `Sync` wrapper over SA-LRU shards for wall-clock
+//!   multi-threaded use (the lavastore block cache is built on it).
 //!
 //! All caches are sized in **bytes** (not entry counts) because the paper's workloads
 //! span 0.1 KB comments to 5 MB LLM KV-cache blobs (Table 1), and count-based caches
@@ -20,9 +22,11 @@
 pub mod aulru;
 pub mod lru;
 pub mod salru;
+pub mod sharded;
 pub mod stats;
 
 pub use aulru::{AuLruCache, RefreshCandidate};
 pub use lru::LruCache;
 pub use salru::SaLruCache;
+pub use sharded::{InsertOutcome, ShardedCache};
 pub use stats::CacheStats;

@@ -1,0 +1,270 @@
+//! Lock-striped, thread-safe wrapper around [`SaLruCache`].
+//!
+//! The simulation-layer caches in this crate are single-threaded by design
+//! (`&mut self` everywhere, sim-time TTLs). The storage engine needs the same
+//! SA-LRU size-aware policy (paper §4.4) behind a `Sync` facade that many
+//! reader threads can hit concurrently. `ShardedCache` splits the byte budget
+//! across a power-of-two number of shards, each an independent
+//! `Mutex<SaLruCache>`; a key's shard is chosen by hash, so unrelated lookups
+//! take unrelated locks and the hot path is one short critical section.
+//!
+//! Values are required to be `Clone`: callers store `Arc<[u8]>`-style handles
+//! so a hit clones a pointer, never the payload.
+
+use crate::salru::SaLruCache;
+use crate::stats::CacheStats;
+use parking_lot::Mutex;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What happened to an [`ShardedCache::insert`] call.
+#[derive(Debug)]
+pub struct InsertOutcome<K, V> {
+    /// Entries displaced by the size-aware policy to make room.
+    pub evicted: Vec<(K, V)>,
+    /// False when the entry was larger than its shard's budget and was not
+    /// admitted at all.
+    pub admitted: bool,
+}
+
+/// A thread-safe SA-LRU: N lock-striped shards, each running the size-aware
+/// eviction policy, bounded by a shared byte capacity.
+pub struct ShardedCache<K, V> {
+    shards: Box<[Mutex<SaLruCache<K, V>>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+    hasher: RandomState,
+    /// Sum of per-shard `used_bytes`, maintained under each shard's lock so
+    /// readers never have to sweep every shard for a gauge.
+    resident: AtomicUsize,
+    capacity_bytes: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of `capacity_bytes` split over `shards` lock stripes.
+    ///
+    /// `shards` is rounded up to the next power of two (minimum 1). Each
+    /// shard owns an equal slice of the byte budget, so a single entry can
+    /// never exceed `capacity_bytes / shard_count`.
+    pub fn new(capacity_bytes: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = (capacity_bytes / n).max(1);
+        let shards: Box<[_]> = (0..n)
+            .map(|_| Mutex::new(SaLruCache::new(per_shard)))
+            .collect();
+        Self {
+            shards,
+            mask: n - 1,
+            hasher: RandomState::new(),
+            resident: AtomicUsize::new(0),
+            capacity_bytes: per_shard * n,
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<SaLruCache<K, V>> {
+        let idx = self.hasher.hash_one(key) as usize & self.mask;
+        &self.shards[idx]
+    }
+
+    /// Look up `key`, promoting it within its shard on a hit. Returns a clone
+    /// of the stored value (an `Arc` handle for block-cache use).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard_for(key).lock().get(key).cloned()
+    }
+
+    /// True if `key` is currently cached (no promotion, no stats).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard_for(key).lock().contains(key)
+    }
+
+    /// Insert an entry of `size` bytes, evicting per the size-aware policy.
+    pub fn insert(&self, key: K, value: V, size: usize) -> InsertOutcome<K, V> {
+        let shard = self.shard_for(&key);
+        let mut guard = shard.lock();
+        let before = guard.used_bytes();
+        let evicted = guard.insert(key.clone(), value, size);
+        let admitted = guard.contains(&key);
+        let after = guard.used_bytes();
+        drop(guard);
+        match after.cmp(&before) {
+            std::cmp::Ordering::Greater => {
+                self.resident.fetch_add(after - before, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.resident.fetch_sub(before - after, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        InsertOutcome { evicted, admitted }
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let shard = self.shard_for(key);
+        let mut guard = shard.lock();
+        let before = guard.used_bytes();
+        let value = guard.remove(key);
+        let after = guard.used_bytes();
+        drop(guard);
+        if before > after {
+            self.resident.fetch_sub(before - after, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Total configured byte capacity across all shards.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently resident across all shards (lock-free read).
+    pub fn used_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Number of lock stripes (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live entries across all shards. Locks each shard in turn; diagnostic
+    /// use only.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Merged hit/miss counters across all shards — the same [`CacheStats`]
+    /// shape the proxy AU-LRU and node SA-LRU report. Locks each shard in
+    /// turn; reporting use only.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            total.merge(shard.lock().stats());
+        }
+        total
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("used_bytes", &self.resident.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(1 << 20, 5);
+        assert_eq!(c.shard_count(), 8);
+        let c: ShardedCache<u64, u64> = ShardedCache::new(1 << 20, 0);
+        assert_eq!(c.shard_count(), 1);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let c = ShardedCache::new(1 << 20, 4);
+        for i in 0..100u64 {
+            c.insert(i, i * 10, 64);
+        }
+        for i in 0..100u64 {
+            assert_eq!(c.get(&i), Some(i * 10), "key {i}");
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.used_bytes(), 100 * 64);
+    }
+
+    #[test]
+    fn capacity_bounds_hold_under_churn() {
+        let c = ShardedCache::new(64 << 10, 4);
+        for i in 0..10_000u64 {
+            let size = 1 + (i as usize * 131) % 4096;
+            c.insert(i, i, size);
+            assert!(
+                c.used_bytes() <= c.capacity_bytes(),
+                "over budget at i={i}: {} > {}",
+                c.used_bytes(),
+                c.capacity_bytes()
+            );
+        }
+        let stats = c.stats();
+        assert!(stats.evictions > 0, "churn never evicted: {stats:?}");
+        assert_eq!(stats.insertions, 10_000);
+    }
+
+    #[test]
+    fn oversized_entry_not_admitted() {
+        let c = ShardedCache::new(4 << 10, 4); // 1 KiB per shard
+        let out = c.insert(7u64, 7u64, 2 << 10);
+        assert!(!out.admitted);
+        assert_eq!(c.get(&7), None);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_releases_bytes() {
+        let c = ShardedCache::new(1 << 20, 2);
+        c.insert("k".to_string(), 1u32, 500);
+        assert_eq!(c.used_bytes(), 500);
+        assert_eq!(c.remove(&"k".to_string()), Some(1));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.remove(&"k".to_string()), None);
+    }
+
+    #[test]
+    fn stats_merge_across_shards() {
+        let c = ShardedCache::new(1 << 20, 8);
+        for i in 0..50u64 {
+            c.insert(i, i, 32);
+        }
+        for i in 0..50u64 {
+            c.get(&i);
+        }
+        for i in 100..120u64 {
+            c.get(&i);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.misses, 20);
+        assert!((stats.hit_ratio() - 50.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let c = Arc::new(ShardedCache::new(256 << 10, 8));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (t * 1_000 + i) % 512;
+                        if i % 3 == 0 {
+                            c.insert(key, key * 2, 128);
+                        } else if let Some(v) = c.get(&key) {
+                            assert_eq!(v, key * 2, "torn value for {key}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        assert!(c.stats().hits > 0);
+    }
+}

@@ -845,6 +845,29 @@ fn info_reply(section: Option<&[u8]>, ctx: &ConnCtx) -> RespValue {
         out.push_str(&format!("deletes:{}\r\n", stats.deletes));
         out.push_str(&format!("memtable_hits:{}\r\n", stats.memtable_hits));
         out.push_str(&format!("block_reads:{}\r\n", stats.block_reads));
+        match db.block_cache() {
+            Some(cache) => {
+                let cs = cache.stats();
+                out.push_str("block_cache_enabled:1\r\n");
+                out.push_str(&format!("block_cache_hits:{}\r\n", cs.hits));
+                out.push_str(&format!("block_cache_misses:{}\r\n", cs.misses));
+                out.push_str(&format!("block_cache_hit_ratio:{:.4}\r\n", cs.hit_ratio()));
+                out.push_str(&format!("block_cache_evictions:{}\r\n", cs.evictions));
+                out.push_str(&format!(
+                    "block_cache_resident_bytes:{}\r\n",
+                    cache.resident_bytes()
+                ));
+                out.push_str(&format!(
+                    "block_cache_pinned_bytes:{}\r\n",
+                    cache.pinned_bytes()
+                ));
+                out.push_str(&format!(
+                    "block_cache_capacity_bytes:{}\r\n",
+                    cache.capacity_bytes()
+                ));
+            }
+            None => out.push_str("block_cache_enabled:0\r\n"),
+        }
         out.push_str(&format!("flushes:{}\r\n", stats.flushes));
         out.push_str(&format!("compactions:{}\r\n", stats.compactions));
         out.push_str(&format!(

@@ -1,0 +1,159 @@
+//! The shared data-block cache for SST readers.
+//!
+//! One [`BlockCache`] is shared by **every stripe** of a [`crate::Db`] (and by
+//! every SST reader those stripes open), so the byte budget is global and the
+//! hottest blocks win regardless of which stripe owns them. Internally it is a
+//! lock-striped SA-LRU ([`abase_cache::ShardedCache`], paper §4.4's size-aware
+//! policy) keyed by `(file_id, block_offset)` and storing `Arc<[u8]>` blocks —
+//! a hit clones a pointer, never the block.
+//!
+//! # Immutable-file keying
+//!
+//! SST files are immutable: once written they are only ever deleted, never
+//! modified. The cache therefore needs **no invalidation path** — only
+//! eviction. The one hazard is file-id aliasing: manifest file ids restart
+//! per database, so keying by manifest id would let a block cached by one
+//! `Db` instance (or a deleted-then-recreated id after reopen) serve reads
+//! for a different file's bytes. Every [`crate::sstable::SstReader`] therefore
+//! draws a **process-unique** id from [`BlockCache::next_file_id`] at open
+//! time; a new reader for the same path gets a new id and simply re-faults
+//! its blocks in.
+//!
+//! Index and bloom blocks are *pinned*: they live in reader memory for the
+//! reader's whole lifetime (never evictable), and readers report those bytes
+//! here so the resident-bytes gauge covers everything the cache layer holds.
+
+use crate::metrics;
+use abase_cache::{CacheStats, ShardedCache};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-unique SST reader ids; see the module docs on aliasing.
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Default shard count: enough stripes that 8–16 reader threads rarely
+/// collide, cheap enough that tiny test caches still work.
+const DEFAULT_SHARDS: usize = 16;
+
+/// A thread-safe, byte-bounded cache of SST data blocks.
+#[derive(Debug)]
+pub struct BlockCache {
+    blocks: ShardedCache<(u64, u64), Arc<[u8]>>,
+    /// Bytes held by open readers for pinned index/bloom blocks.
+    pinned: AtomicI64,
+}
+
+impl BlockCache {
+    /// A cache holding at most `capacity_bytes` of data blocks.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            blocks: ShardedCache::new(capacity_bytes, DEFAULT_SHARDS),
+            pinned: AtomicI64::new(0),
+        }
+    }
+
+    /// Allocate a process-unique file id for a newly opened reader.
+    pub fn next_file_id() -> u64 {
+        NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up the block at `offset` of `file_id`.
+    pub fn get(&self, file_id: u64, offset: u64) -> Option<Arc<[u8]>> {
+        let block = self.blocks.get(&(file_id, offset));
+        match &block {
+            Some(_) => metrics::BLOCK_CACHE_HITS.inc(),
+            None => metrics::BLOCK_CACHE_MISSES.inc(),
+        }
+        block
+    }
+
+    /// Insert a block read from disk.
+    pub fn insert(&self, file_id: u64, offset: u64, block: Arc<[u8]>) {
+        let size = block.len();
+        let outcome = self.blocks.insert((file_id, offset), block, size);
+        if outcome.admitted {
+            metrics::BLOCK_CACHE_INSERTIONS.inc();
+        }
+        if !outcome.evicted.is_empty() {
+            metrics::BLOCK_CACHE_EVICTIONS.add(outcome.evicted.len() as u64);
+        }
+        metrics::BLOCK_CACHE_BYTES.set(self.resident_bytes() as i64);
+    }
+
+    /// Account `bytes` of pinned index/bloom data for an opening reader.
+    pub fn add_pinned(&self, bytes: usize) {
+        self.pinned.fetch_add(bytes as i64, Ordering::Relaxed);
+        metrics::BLOCK_CACHE_BYTES.set(self.resident_bytes() as i64);
+    }
+
+    /// Release pinned bytes when a reader drops.
+    pub fn sub_pinned(&self, bytes: usize) {
+        self.pinned.fetch_sub(bytes as i64, Ordering::Relaxed);
+        metrics::BLOCK_CACHE_BYTES.set(self.resident_bytes() as i64);
+    }
+
+    /// Bytes held for pinned index/bloom blocks across open readers.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pinned.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Total resident bytes: cached data blocks plus pinned index/bloom.
+    pub fn resident_bytes(&self) -> u64 {
+        self.blocks.used_bytes() as u64 + self.pinned_bytes()
+    }
+
+    /// Configured data-block capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.blocks.capacity_bytes() as u64
+    }
+
+    /// Merged hit/miss counters — the same [`CacheStats`] shape the proxy
+    /// AU-LRU and node SA-LRU expose.
+    pub fn stats(&self) -> CacheStats {
+        self.blocks.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_ids_are_unique() {
+        let a = BlockCache::next_file_id();
+        let b = BlockCache::next_file_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hit_miss_and_resident_accounting() {
+        let cache = BlockCache::new(1 << 20);
+        assert!(cache.get(1, 0).is_none());
+        cache.insert(1, 0, vec![7u8; 512].into());
+        let block = cache.get(1, 0).expect("inserted block is resident");
+        assert_eq!(block.len(), 512);
+        assert_eq!(cache.resident_bytes(), 512);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn same_offset_different_file_ids_do_not_alias() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert(1, 0, vec![1u8; 64].into());
+        cache.insert(2, 0, vec![2u8; 64].into());
+        assert_eq!(cache.get(1, 0).unwrap()[0], 1);
+        assert_eq!(cache.get(2, 0).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn pinned_bytes_tracked() {
+        let cache = BlockCache::new(1 << 20);
+        cache.add_pinned(1000);
+        assert_eq!(cache.pinned_bytes(), 1000);
+        assert_eq!(cache.resident_bytes(), 1000);
+        cache.sub_pinned(1000);
+        assert_eq!(cache.pinned_bytes(), 0);
+    }
+}

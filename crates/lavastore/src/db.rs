@@ -25,12 +25,13 @@
 //! has flushed its records at or below that point (see
 //! [`Db::advance_floor_locked`]).
 
+use crate::block_cache::BlockCache;
 use crate::compaction::{pick_compaction, CompactionConfig};
 use crate::error::{Error, Result};
 use crate::iter::MergeIterator;
 use crate::memtable::MemTable;
 use crate::record::{Record, RecordKind, NO_EXPIRY};
-use crate::sstable::{SstReader, SstWriter};
+use crate::sstable::{BlockIo, SstReader, SstWriter};
 use crate::version::{SstMeta, Version};
 use crate::wal::{Wal, WalOptions};
 use abase_util::clock::SimTime;
@@ -74,6 +75,10 @@ pub struct DbConfig {
     /// Time since the last WAL flush that triggers one on a non-durable
     /// commit (group-commit interval trigger).
     pub group_commit_interval_ms: u64,
+    /// Byte budget for the shared data-block cache (one cache across **all**
+    /// stripes; `0` disables caching entirely). SST files are immutable, so
+    /// the cache needs no invalidation — only eviction.
+    pub block_cache_bytes: usize,
 }
 
 impl Default for DbConfig {
@@ -89,6 +94,7 @@ impl Default for DbConfig {
             n_stripes: 8,
             group_commit_bytes: 64 << 10,
             group_commit_interval_ms: 5,
+            block_cache_bytes: 64 << 20,
         }
     }
 }
@@ -112,6 +118,9 @@ impl DbConfig {
             n_stripes: 4,
             group_commit_bytes: 16 << 10,
             group_commit_interval_ms: 5,
+            // Small enough that tests exercise eviction, on by default so the
+            // whole suite runs through the cached read path.
+            block_cache_bytes: 64 << 10,
         }
     }
 
@@ -129,8 +138,13 @@ impl DbConfig {
 pub struct ReadResult {
     /// The live value, if the key exists and has not expired.
     pub value: Option<Bytes>,
-    /// Data-block reads performed (0 when served by memtable/bloom).
+    /// Data-block accesses performed (0 when served by memtable/bloom).
+    /// Cache hits count: Rule 1 prices logical block I/O, and a request's
+    /// cost must not depend on cache luck. `io_ops - cache_hits` of these
+    /// actually reached the disk.
     pub io_ops: u32,
+    /// Of `io_ops`, the accesses served by the block cache without disk I/O.
+    pub cache_hits: u32,
     /// True when the memtable answered.
     pub from_memtable: bool,
 }
@@ -339,6 +353,8 @@ pub struct Db {
     tracker: ApplyTracker,
     shared: Mutex<Shared>,
     stats: StatsInner,
+    /// One data-block cache shared by every stripe's readers (None = off).
+    block_cache: Option<Arc<BlockCache>>,
 }
 
 impl std::fmt::Debug for Db {
@@ -401,12 +417,20 @@ impl Db {
         // The stripe count is a property of the data (keys were hashed with
         // it), so the manifest always wins over the caller's config.
         let n_stripes = version.n_stripes.max(1) as usize;
+        let block_cache = if config.block_cache_bytes > 0 {
+            Some(Arc::new(BlockCache::new(config.block_cache_bytes)))
+        } else {
+            None
+        };
         let mut stripes: Vec<Stripe> = (0..n_stripes)
             .map(|_| Stripe::new(version.levels.len()))
             .collect();
         for files in &version.levels {
             for meta in files {
-                let reader = Arc::new(SstReader::open(&sst_path(&dir, meta.id))?);
+                let reader = Arc::new(SstReader::open_cached(
+                    &sst_path(&dir, meta.id),
+                    block_cache.clone(),
+                )?);
                 let s = (meta.stripe as usize).min(n_stripes - 1);
                 stripes[s].add_file(meta.clone(), reader);
             }
@@ -474,7 +498,13 @@ impl Db {
                 rotated,
             }),
             stats: StatsInner::default(),
+            block_cache,
         })
+    }
+
+    /// The shared block cache, when one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
     }
 
     /// The engine configuration.
@@ -800,20 +830,21 @@ impl Db {
             return Ok(ReadResult {
                 value,
                 io_ops: 0,
+                cache_hits: 0,
                 from_memtable: true,
             });
         }
-        let mut io_ops = 0u32;
+        let mut io = BlockIo::default();
         // 2. L0, newest file first (files may overlap).
         for meta in &stripe.levels[0] {
             let reader = &stripe.readers[&meta.id];
-            let (record, io) = reader.get(key)?;
-            io_ops += io;
+            let (record, file_io) = reader.get(key)?;
+            io.absorb(file_io);
             if let Some(record) = record {
                 self.stats
                     .block_reads
-                    .fetch_add(u64::from(io), Ordering::Relaxed);
-                return Ok(self.resolve(record, now, io_ops));
+                    .fetch_add(u64::from(io.disk), Ordering::Relaxed);
+                return Ok(self.resolve(record, now, io));
             }
         }
         // 3. L1+: at most one candidate file per level.
@@ -823,28 +854,29 @@ impl Db {
             if let Some(meta) = files.get(idx) {
                 if meta.min_key.as_ref() <= key {
                     let reader = &stripe.readers[&meta.id];
-                    let (record, io) = reader.get(key)?;
-                    io_ops += io;
+                    let (record, file_io) = reader.get(key)?;
+                    io.absorb(file_io);
                     if let Some(record) = record {
                         self.stats
                             .block_reads
-                            .fetch_add(u64::from(io_ops), Ordering::Relaxed);
-                        return Ok(self.resolve(record, now, io_ops));
+                            .fetch_add(u64::from(io.disk), Ordering::Relaxed);
+                        return Ok(self.resolve(record, now, io));
                     }
                 }
             }
         }
         self.stats
             .block_reads
-            .fetch_add(u64::from(io_ops), Ordering::Relaxed);
+            .fetch_add(u64::from(io.disk), Ordering::Relaxed);
         Ok(ReadResult {
             value: None,
-            io_ops,
+            io_ops: io.total(),
+            cache_hits: io.cached,
             from_memtable: false,
         })
     }
 
-    fn resolve(&self, record: Record, now: SimTime, io_ops: u32) -> ReadResult {
+    fn resolve(&self, record: Record, now: SimTime, io: BlockIo) -> ReadResult {
         let value = match record.kind {
             RecordKind::Delete => None,
             RecordKind::Put => {
@@ -857,7 +889,8 @@ impl Db {
         };
         ReadResult {
             value,
-            io_ops,
+            io_ops: io.total(),
+            cache_hits: io.cached,
             from_memtable: false,
         }
     }
@@ -872,7 +905,7 @@ impl Db {
     pub fn scan_prefix(&self, prefix: &[u8], now: SimTime) -> Result<(Vec<(Bytes, Bytes)>, u32)> {
         let guards: Vec<_> = self.stripes.iter().map(|s| s.read()).collect();
         let mut sources = Vec::new();
-        let mut io_ops = 0u32;
+        let mut io = BlockIo::default();
         let upper = upper_bound_for_prefix(prefix);
         for stripe in &guards {
             sources.push(
@@ -894,18 +927,18 @@ impl Db {
                         continue;
                     }
                     let reader = &stripe.readers[&meta.id];
-                    let (records, io) = reader.scan_prefix(prefix)?;
-                    io_ops += io;
+                    let (records, file_io) = reader.scan_prefix(prefix)?;
+                    io.absorb(file_io);
                     sources.push(records);
                 }
             }
         }
         self.stats
             .block_reads
-            .fetch_add(u64::from(io_ops), Ordering::Relaxed);
+            .fetch_add(u64::from(io.disk), Ordering::Relaxed);
         let merged = MergeIterator::new(sources).dedup_newest(now, true);
         let out = merged.into_iter().map(|r| (r.key, r.value)).collect();
-        Ok((out, io_ops))
+        Ok((out, io.total()))
     }
 
     /// Force a memtable flush of every stripe (no-op for empty stripes).
@@ -958,7 +991,7 @@ impl Db {
             file_size: info.file_size,
             record_count: info.record_count,
         };
-        let reader = Arc::new(SstReader::open(&path)?);
+        let reader = Arc::new(SstReader::open_cached(&path, self.block_cache.clone())?);
         {
             let mut shared = self.shared.lock();
             shared.version.add_file(meta.clone());
@@ -1106,7 +1139,10 @@ impl Db {
             // then mirror into this stripe's view.
             let mut new_readers = Vec::with_capacity(new_metas.len());
             for meta in &new_metas {
-                new_readers.push(Arc::new(SstReader::open(&sst_path(&self.dir, meta.id))?));
+                new_readers.push(Arc::new(SstReader::open_cached(
+                    &sst_path(&self.dir, meta.id),
+                    self.block_cache.clone(),
+                )?));
             }
             {
                 let mut shared = self.shared.lock();

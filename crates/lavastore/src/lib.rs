@@ -30,6 +30,7 @@
 
 #![deny(missing_docs)]
 
+pub mod block_cache;
 pub mod bloom;
 pub mod compaction;
 pub mod db;
@@ -43,5 +44,7 @@ pub mod sstable;
 pub mod version;
 pub mod wal;
 
+pub use block_cache::BlockCache;
 pub use db::{CheckpointInfo, Db, DbConfig, DbStats, ReadResult};
 pub use error::{Error, Result};
+pub use sstable::BlockIo;

@@ -4,7 +4,7 @@
 //! Recording sites live where the work happens (`wal.rs`, `db.rs`); this
 //! module only owns the `static` handles.
 
-use abase_obs::{LazyCounter, LazyHisto};
+use abase_obs::{LazyCounter, LazyGauge, LazyHisto};
 
 /// WAL append latency (frame build + buffered write + optional fsync).
 pub static WAL_APPEND_MICROS: LazyHisto = LazyHisto::new(
@@ -66,6 +66,54 @@ pub static COMPACTIONS: LazyCounter =
 pub static COMPACTION_BYTES: LazyCounter = LazyCounter::new(
     "abase_lava_compaction_bytes_total",
     "SST bytes written by compactions",
+);
+
+/// Block-cache lookups that found the block resident.
+pub static BLOCK_CACHE_HITS: LazyCounter = LazyCounter::new(
+    "abase_block_cache_hits_total",
+    "Data-block cache lookups served without disk I/O",
+);
+
+/// Block-cache lookups that fell through to disk.
+pub static BLOCK_CACHE_MISSES: LazyCounter = LazyCounter::new(
+    "abase_block_cache_misses_total",
+    "Data-block cache lookups that required a disk read",
+);
+
+/// Blocks inserted into the cache after a miss.
+pub static BLOCK_CACHE_INSERTIONS: LazyCounter = LazyCounter::new(
+    "abase_block_cache_insertions_total",
+    "Data blocks inserted into the block cache",
+);
+
+/// Blocks evicted by the size-aware policy.
+pub static BLOCK_CACHE_EVICTIONS: LazyCounter = LazyCounter::new(
+    "abase_block_cache_evictions_total",
+    "Data blocks evicted from the block cache",
+);
+
+/// Bytes resident in the block cache (data blocks + pinned index/filter).
+pub static BLOCK_CACHE_BYTES: LazyGauge = LazyGauge::new(
+    "abase_block_cache_bytes",
+    "Bytes resident in the block cache, including pinned index and bloom blocks",
+);
+
+/// Bloom filter probes on the point-read path.
+pub static BLOOM_CHECKS: LazyCounter = LazyCounter::new(
+    "abase_bloom_checks_total",
+    "Bloom filter probes performed by in-range point reads",
+);
+
+/// Bloom probes that answered "definitely absent" (saved a block read).
+pub static BLOOM_NEGATIVES: LazyCounter = LazyCounter::new(
+    "abase_bloom_negatives_total",
+    "Bloom probes that short-circuited a point read without block I/O",
+);
+
+/// Bloom probes that said "maybe" for a key the block search then missed.
+pub static BLOOM_FALSE_POSITIVES: LazyCounter = LazyCounter::new(
+    "abase_bloom_false_positives_total",
+    "Bloom probes that cost a block read for an absent key",
 );
 
 /// Checkpoints published.

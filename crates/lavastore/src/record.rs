@@ -107,6 +107,19 @@ impl Record {
         put_len_prefixed(buf, &self.value);
     }
 
+    /// Read only the key of the record at `buf[*pos..]`, advancing `pos`
+    /// past the whole record without materializing any field. Binary-search
+    /// probes and short-circuited scans use this to skip records whose key
+    /// already decided the comparison.
+    pub fn peek_key<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+        let key = get_len_prefixed(buf, pos)?;
+        get_u64(buf, pos)?; // seq
+        get_varint(buf, pos)?; // kind
+        get_u64(buf, pos)?; // expires_at
+        get_len_prefixed(buf, pos)?; // value (bounds-checked slice, no copy)
+        Ok(key)
+    }
+
     /// Decode a record from `buf[*pos..]`, advancing `pos`.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Record> {
         let key = Bytes::copy_from_slice(get_len_prefixed(buf, pos)?);
@@ -142,6 +155,28 @@ mod tests {
         let mut pos = 0;
         for r in &records {
             assert_eq!(&Record::decode(&buf, &mut pos).unwrap(), r);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn peek_key_advances_like_decode() {
+        let records = vec![
+            Record::put("key1", "value1", 7, None),
+            Record::delete("key2", 8),
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        let mut pos = 0;
+        for r in &records {
+            let before = pos;
+            let key = Record::peek_key(&buf, &mut pos).unwrap();
+            assert_eq!(key, r.key.as_ref());
+            let mut decode_pos = before;
+            Record::decode(&buf, &mut decode_pos).unwrap();
+            assert_eq!(pos, decode_pos, "peek_key must skip the whole record");
         }
         assert_eq!(pos, buf.len());
     }

@@ -36,6 +36,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The event-loop front end is fd-bound, not thread-bound: lift
+    // RLIMIT_NOFILE toward the hard cap up front so a 50k-connection tier
+    // doesn't die on EMFILE (see TESTING.md on raising the hard cap itself).
+    if let Ok(limit) = abase::util::poller::raise_nofile_limit(1 << 20) {
+        if limit < 65_536 {
+            eprintln!("abase-server: RLIMIT_NOFILE capped at {limit}; large connection tiers need a raised hard cap");
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = args
         .first()
@@ -82,6 +90,16 @@ fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
+/// Engine configuration from the environment: `ABASE_BLOCK_CACHE_BYTES`
+/// sizes the shared data-block cache (0 disables it; default ~64 MiB).
+fn db_config_from_env() -> DbConfig {
+    let mut config = DbConfig::default();
+    if let Some(bytes) = env_parse::<usize>("ABASE_BLOCK_CACHE_BYTES") {
+        config.block_cache_bytes = bytes;
+    }
+    config
+}
+
 /// Front-end tuning from the environment: `ABASE_IO_THREADS` (event-loop
 /// worker count), `ABASE_MAX_CLIENTS` (connection cap), and
 /// `ABASE_IDLE_TIMEOUT_SECS` (idle-connection reaper; 0 disables).
@@ -101,7 +119,7 @@ fn apply_front_end_env(mut server: RespServer) -> RespServer {
 }
 
 fn run_plain(addr: &str, dir: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let engine = Arc::new(TableEngine::open(dir, DbConfig::default())?);
+    let engine = Arc::new(TableEngine::open(dir, db_config_from_env())?);
     let server = apply_front_end_env(RespServer::bind(Arc::clone(&engine), addr)?);
     apply_slowlog_env(&server);
     println!(
@@ -128,7 +146,7 @@ fn run_replicated(
         0,
         dir,
         &ids,
-        GroupConfig::new(WriteConcern::Quorum, DbConfig::default()),
+        GroupConfig::new(WriteConcern::Quorum, db_config_from_env()),
     )?;
     let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
     let group = Arc::new(Mutex::new(group));
@@ -176,8 +194,13 @@ fn run_follower(
         .next()
         .and_then(|p| p.parse().ok())
         .unwrap_or(0);
-    let mut follower =
-        SocketFollower::connect(dir, DbConfig::default(), leader, replica_id, listening_port)?;
+    let mut follower = SocketFollower::connect(
+        dir,
+        db_config_from_env(),
+        leader,
+        replica_id,
+        listening_port,
+    )?;
     let engine = Arc::new(TableEngine::from_db(follower.db()));
     // The pump loop owns the link the server cannot see; these shared cells
     // feed `INFO replication` on the follower (role, applied LSN, link
