@@ -1,0 +1,16 @@
+// Fixture: strong atomic orderings with no ORDER pairing comment.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool, seq: &AtomicU64) {
+    seq.fetch_add(1, Ordering::SeqCst);
+    flag.store(true, Ordering::Release);
+}
+
+pub fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+pub fn relaxed_is_fine(seq: &AtomicU64) -> u64 {
+    seq.load(Ordering::Relaxed)
+}

@@ -1,0 +1,140 @@
+//! CLI driver for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p abase-analysis --               # report findings, exit 0
+//! cargo run -p abase-analysis -- --deny        # exit 1 on un-baselined findings
+//! cargo run -p abase-analysis -- --write-baseline
+//! cargo run -p abase-analysis -- --root <dir> --baseline <file>
+//! ```
+
+use abase_analysis::{scan_workspace, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    deny: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default to the workspace root: two levels up from this crate's
+    // manifest, falling back to the current directory when run standalone.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut args = Args {
+        root: default_root,
+        baseline: PathBuf::new(),
+        deny: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut baseline_set = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a path".to_string())?);
+            }
+            "--baseline" => {
+                args.baseline = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--baseline needs a path".to_string())?,
+                );
+                baseline_set = true;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: abase-analysis [--deny] [--write-baseline] [--root DIR] \
+                     [--baseline FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !baseline_set {
+        args.baseline = args.root.join("crates/analysis/baseline.txt");
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = match scan_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "abase-analysis: failed to scan {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.write_baseline {
+        if let Err(e) = Baseline::write(&args.baseline, &findings) {
+            eprintln!(
+                "abase-analysis: failed to write {}: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} finding(s) to {}",
+            findings.len(),
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&args.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "abase-analysis: failed to read {}: {e}",
+                args.baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let fresh: Vec<_> = findings.iter().filter(|f| !baseline.contains(f)).collect();
+    for f in &fresh {
+        println!("{f}");
+    }
+    let stale = baseline.stale(&findings);
+    for key in &stale {
+        eprintln!(
+            "note: stale baseline entry `{key}` (fixed or moved; re-run with \
+             --write-baseline)"
+        );
+    }
+    println!(
+        "abase-analysis: {} finding(s) ({} new, {} baselined, {} stale baseline entr{})",
+        findings.len(),
+        fresh.len(),
+        findings.len() - fresh.len(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if args.deny && !fresh.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

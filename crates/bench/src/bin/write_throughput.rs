@@ -87,7 +87,7 @@ fn run(threads: usize, ops: usize, n_stripes: u32, global_lock: bool, tag: &str)
         ..DbConfig::default()
     };
     let db = Arc::new(Db::open(dir.path(), config).unwrap());
-    let engine_lock = std::sync::Mutex::new(());
+    let engine_lock = parking_lot::Mutex::new(());
     let value = vec![b'v'; VALUE_BYTES];
     let per = ops / threads;
     // Warmup outside the timed window (directory creation, first WAL frame).
@@ -101,7 +101,7 @@ fn run(threads: usize, ops: usize, n_stripes: u32, global_lock: bool, tag: &str)
             scope.spawn(move || {
                 for i in 0..per {
                     let key = format!("w{t:02}-{i:08}");
-                    let guard = global_lock.then(|| engine_lock.lock().unwrap());
+                    let guard = global_lock.then(|| engine_lock.lock());
                     db.put(key.as_bytes(), value, None, 0).unwrap();
                     drop(guard);
                 }

@@ -144,6 +144,8 @@ impl<K: Hash + Eq + Clone + Ord, V> AuLruCache<K, V> {
             return None;
         }
         self.stats.hits += 1;
+        // INVARIANT: the hit path above just promoted this key; neither
+        // `get_mut` nor `peek` can miss before the next mutation.
         let entry = self
             .lru
             .get_mut(key)
@@ -194,6 +196,7 @@ impl<K: Hash + Eq + Clone + Ord, V> AuLruCache<K, V> {
                 break;
             }
             let (expires_at, generation, key) = {
+                // INVARIANT: `peek()` returned Some in the loop head.
                 let Reverse(t) = self.expiry_heap.pop().expect("peeked entry");
                 t
             };
@@ -205,6 +208,8 @@ impl<K: Hash + Eq + Clone + Ord, V> AuLruCache<K, V> {
             }
             let hot = entry.period_accesses >= self.config.hot_threshold;
             if hot && !entry.refresh_pending {
+                // INVARIANT: `peek` found the entry a few lines up and no
+                // mutation happened since.
                 let e = self.lru.get_mut(&key).expect("entry present");
                 e.refresh_pending = true;
                 self.refreshes_emitted += 1;

@@ -82,11 +82,14 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.stats.clear();
     }
 
+    // INVARIANT: callers only pass indices obtained from `map`, which always
+    // point at occupied slab slots (freed indices are removed from `map`).
     fn slot(&self, idx: usize) -> &Slot<K, V> {
         self.slots[idx].as_ref().expect("live slot")
     }
 
     fn slot_mut(&mut self, idx: usize) -> &mut Slot<K, V> {
+        // INVARIANT: same contract as `slot` above.
         self.slots[idx].as_mut().expect("live slot")
     }
 
@@ -242,6 +245,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// its bytes, and return the owned slot.
     fn detach(&mut self, idx: usize) -> Slot<K, V> {
         self.unlink(idx);
+        // INVARIANT: `idx` came from `map`, so the slot is occupied.
         let slot = self.slots[idx].take().expect("live slot");
         self.used_bytes -= slot.size;
         self.free.push(idx);

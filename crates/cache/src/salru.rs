@@ -83,6 +83,7 @@ impl<K: Hash + Eq + Clone, V> SaLruCache<K, V> {
             "class bounds must be strictly increasing"
         );
         assert_eq!(
+            // INVARIANT: the `is_empty` assert above guarantees a last element.
             *bounds.last().expect("non-empty"),
             usize::MAX,
             "last class must be unbounded"
@@ -141,6 +142,8 @@ impl<K: Hash + Eq + Clone, V> SaLruCache<K, V> {
         self.bounds
             .iter()
             .position(|&b| size <= b)
+            // INVARIANT: construction asserts the last bound is usize::MAX,
+            // so every size matches at least one class.
             .expect("last bound is usize::MAX") as u8
     }
 
@@ -185,6 +188,8 @@ impl<K: Hash + Eq + Clone, V> SaLruCache<K, V> {
         // Handle a re-insert whose size moved it to a different class.
         if let Some(&old_class) = self.key_class.get(&key) {
             let old_shard = &mut self.classes[old_class as usize];
+            // INVARIANT: `key_class` and the per-class LRUs are updated in
+            // lockstep; a mapped key is always present in its class.
             let old_size = old_shard.lru.size_of(&key).expect("key tracked in class");
             if old_class == class {
                 self.used_bytes = self.used_bytes - old_size + size;
@@ -204,6 +209,8 @@ impl<K: Hash + Eq + Clone, V> SaLruCache<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let class = self.key_class.remove(key)?;
         let shard = &mut self.classes[class as usize];
+        // INVARIANT: `key_class` and the per-class LRUs are updated in
+        // lockstep; a mapped key is always present in its class.
         let size = shard.lru.size_of(key).expect("key tracked in class");
         let value = shard.lru.remove(key).expect("key tracked in class");
         self.used_bytes -= size;
@@ -244,13 +251,18 @@ impl<K: Hash + Eq + Clone, V> SaLruCache<K, V> {
                 .filter(|(_, s)| !s.lru.is_empty())
                 .min_by(|(ia, a), (ib, b)| {
                     Self::hit_density(a)
+                        // INVARIANT: hit_density divides by a clamped non-zero
+                        // denominator and never yields NaN.
                         .partial_cmp(&Self::hit_density(b))
                         .expect("hit density is finite")
                         .then(ib.cmp(ia))
                 })
                 .map(|(i, _)| i)
+                // INVARIANT: used_bytes > capacity implies some class holds an
+                // entry, and the filter keeps exactly those classes.
                 .expect("over capacity implies a non-empty class");
             let shard = &mut self.classes[victim];
+            // INVARIANT: the victim passed the `!is_empty` filter above.
             let (key, value, size) = shard.lru.pop_lru().expect("victim class non-empty");
             self.used_bytes -= size;
             self.key_class.remove(&key);

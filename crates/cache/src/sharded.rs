@@ -13,7 +13,7 @@
 
 use crate::salru::SaLruCache;
 use crate::stats::CacheStats;
-use parking_lot::Mutex;
+use abase_util::lockrank::{rank, RankedMutex};
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,7 +31,7 @@ pub struct InsertOutcome<K, V> {
 /// A thread-safe SA-LRU: N lock-striped shards, each running the size-aware
 /// eviction policy, bounded by a shared byte capacity.
 pub struct ShardedCache<K, V> {
-    shards: Box<[Mutex<SaLruCache<K, V>>]>,
+    shards: Box<[RankedMutex<SaLruCache<K, V>>]>,
     /// `shards.len() - 1`; shard count is a power of two.
     mask: usize,
     hasher: RandomState,
@@ -51,7 +51,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         let n = shards.max(1).next_power_of_two();
         let per_shard = (capacity_bytes / n).max(1);
         let shards: Box<[_]> = (0..n)
-            .map(|_| Mutex::new(SaLruCache::new(per_shard)))
+            .map(|_| RankedMutex::new(rank::CACHE_SHARD, SaLruCache::new(per_shard)))
             .collect();
         Self {
             shards,
@@ -62,7 +62,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    fn shard_for(&self, key: &K) -> &Mutex<SaLruCache<K, V>> {
+    fn shard_for(&self, key: &K) -> &RankedMutex<SaLruCache<K, V>> {
         let idx = self.hasher.hash_one(key) as usize & self.mask;
         &self.shards[idx]
     }

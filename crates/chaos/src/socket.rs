@@ -33,7 +33,7 @@ use abase_replication::{
 };
 use abase_util::failpoint::{self, FaultAction};
 use abase_util::TestDir;
-use parking_lot::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::net::TcpListener;
@@ -134,7 +134,7 @@ pub fn run_socket_episode(seed: u64) -> SocketEpisodeReport {
     let _guard = failpoint::ScopedInjector::enable();
     let leader_dir = TestDir::new(&format!("socket-chaos-leader-{seed}"));
     let follower_dir = TestDir::new(&format!("socket-chaos-follower-{seed}"));
-    let group = Arc::new(Mutex::new(
+    let group = Arc::new(
         ReplicaGroup::bootstrap(
             1,
             leader_dir.path(),
@@ -145,8 +145,9 @@ pub fn run_socket_episode(seed: u64) -> SocketEpisodeReport {
                 wait_timeout: Duration::from_millis(300),
             },
         )
-        .expect("bootstrap leader group"),
-    ));
+        .expect("bootstrap leader group")
+        .into_mutex(),
+    );
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind leader endpoint");
     let addr = listener.local_addr().unwrap();
     // Flipped by the KillLeader fault: the endpoint stops accepting (the
@@ -157,7 +158,10 @@ pub fn run_socket_episode(seed: u64) -> SocketEpisodeReport {
         let leader_dead = Arc::clone(&leader_dead);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
-                if leader_dead.load(std::sync::atomic::Ordering::SeqCst) {
+                // ORDER: Acquire pairs with the Release store at the
+                // KillLeader fault (downgraded from SeqCst: one writer, one
+                // flag, no other atomics to order against).
+                if leader_dead.load(std::sync::atomic::Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = stream else { break };
@@ -230,7 +234,9 @@ pub fn run_socket_episode(seed: u64) -> SocketEpisodeReport {
                         0,
                         u32::MAX,
                     );
-                    leader_dead.store(true, std::sync::atomic::Ordering::SeqCst);
+                    // ORDER: Release pairs with the accept loop's Acquire
+                    // load (downgraded from SeqCst; see that site).
+                    leader_dead.store(true, std::sync::atomic::Ordering::Release);
                     let _ = std::net::TcpStream::connect(addr);
                 }
             }

@@ -212,16 +212,19 @@ impl IsolationExperiment {
 
     /// Mutable access to a tenant's proxy plane (quota/cache toggles).
     pub fn plane_mut(&mut self, tenant: TenantId) -> &mut ProxyPlane {
+        // INVARIANT: tenants are registered at construction and never removed.
         &mut self.tenants.get_mut(&tenant).expect("known tenant").plane
     }
 
     /// Mutable access to a tenant's request generator (skew/window shifts).
     pub fn gen_mut(&mut self, tenant: TenantId) -> &mut RequestGen {
+        // INVARIANT: tenants are registered at construction and never removed.
         &mut self.tenants.get_mut(&tenant).expect("known tenant").gen
     }
 
     /// Replace a tenant's traffic shape (for multi-phase scenarios).
     pub fn set_shape(&mut self, tenant: TenantId, shape: TrafficShape) {
+        // INVARIANT: tenants are registered at construction and never removed.
         self.tenants.get_mut(&tenant).expect("known tenant").shape = shape;
     }
 
@@ -245,6 +248,7 @@ impl IsolationExperiment {
         let tick_len = self.tick_len;
         // 1. Generate and route this tick's requests, tenant by tenant.
         for &tenant in &self.order {
+            // INVARIANT: `order` only holds tenants present in `tenants`.
             let rt = self.tenants.get_mut(&tenant).expect("known tenant");
             let want = rt.shape.requests_in_tick(now, tick_len) + rt.carry;
             let count = want.floor() as u64;
@@ -290,6 +294,7 @@ impl IsolationExperiment {
         }
         // 2. Node advances one tick; completions feed proxy caches + metrics.
         for (req, disp) in self.node.tick(now, tick_len) {
+            // INVARIANT: every request was generated for a registered tenant.
             let rt = self.tenants.get_mut(&req.tenant).expect("known tenant");
             if let Disposition::Success {
                 latency,
@@ -323,6 +328,7 @@ impl IsolationExperiment {
         // Control-plane actions: boost clawback and active cache refresh.
         for &tenant in &self.order {
             let allowed = self.monitor.boost_allowed(tenant, now);
+            // INVARIANT: `order` only holds tenants present in `tenants`.
             let rt = self.tenants.get_mut(&tenant).expect("known tenant");
             rt.plane.set_boost(allowed, now);
             for (proxy, key) in rt.plane.refresh_candidates(now) {
@@ -616,6 +622,7 @@ impl ReplicatedCluster {
             let role = if i == 0 { Role::Leader } else { Role::Follower };
             self.nodes
                 .get_mut(id)
+                // INVARIANT: `chosen` was drawn from `self.nodes` keys above.
                 .expect("placed on known node")
                 .host_replica(partition, role);
         }
@@ -1066,6 +1073,7 @@ impl ReplicatedCluster {
             let group = self
                 .groups
                 .get_mut(&promotion.partition)
+                // INVARIANT: the plan was built from this map's entries.
                 .expect("planned partition exists");
             let elected = group.promote()?;
             debug_assert_eq!(elected, promotion.new_leader, "plan/group disagree");
@@ -1119,6 +1127,7 @@ impl ReplicatedCluster {
             let group = self
                 .groups
                 .get_mut(&assignment.partition)
+                // INVARIANT: the plan was built from this map's entries.
                 .expect("planned partition exists");
             group.adopt_replica(failed, assignment.dest, dir)?;
             if let Some(node) = self.nodes.get_mut(&assignment.dest) {

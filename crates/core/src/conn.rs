@@ -255,6 +255,7 @@ impl Conn {
                         break Some(Step::Offload);
                     }
                 }
+                // INVARIANT: the loop head peeked `front()` as Some.
                 let value = self.pending.pop_front().expect("front checked");
                 let reply = self.execute(&value, command, ctx);
                 self.push_reply(&reply);
@@ -440,6 +441,7 @@ impl Conn {
                 psync = true;
                 break;
             }
+            // INVARIANT: the loop head peeked `front()` as Some.
             let value = self.pending.pop_front().expect("front checked");
             let reply = self.execute(&value, command, ctx);
             self.push_reply(&reply);

@@ -9,8 +9,8 @@
 use abase_lavastore::{Db, DbConfig, ReadResult};
 use abase_proto::{Command, RespValue};
 use abase_util::clock::SimTime;
+use abase_util::lockrank::{rank, RankedRwLock};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 use crate::types::TenantId;
@@ -37,7 +37,7 @@ pub struct ExecOutcome {
 /// swappable ([`TableEngine::swap_db`]) because a socket follower's full
 /// resync replaces its store wholesale while the RESP server keeps serving.
 pub struct TableEngine {
-    db: RwLock<Arc<Db>>,
+    db: RankedRwLock<Arc<Db>>,
 }
 
 impl std::fmt::Debug for TableEngine {
@@ -55,14 +55,14 @@ impl TableEngine {
         config: DbConfig,
     ) -> abase_lavastore::Result<Self> {
         Ok(Self {
-            db: RwLock::new(Arc::new(Db::open(dir, config)?)),
+            db: RankedRwLock::new(rank::ENGINE_DB, Arc::new(Db::open(dir, config)?)),
         })
     }
 
     /// An engine over an existing (typically replicated) store.
     pub fn from_db(db: Arc<Db>) -> Self {
         Self {
-            db: RwLock::new(db),
+            db: RankedRwLock::new(rank::ENGINE_DB, db),
         }
     }
 

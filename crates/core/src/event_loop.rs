@@ -24,8 +24,8 @@ use crate::conn::{Conn, ConnGuard, Step};
 use crate::metrics;
 use crate::server::{serve_replica_connection, ConnCtx};
 use abase_proto::Command;
+use abase_util::lockrank::{rank, RankedMutex};
 use abase_util::poller::{Events, Interest, Poller, Waker};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -79,14 +79,26 @@ pub(crate) fn worker_label(i: usize) -> &'static str {
 
 /// Shared shutdown signal: a flag plus the eventfd wakers of every poller
 /// that must notice it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Shutdown {
     flag: AtomicBool,
-    wakers: Mutex<Vec<Arc<Waker>>>,
+    wakers: RankedMutex<Vec<Arc<Waker>>>,
+}
+
+impl Default for Shutdown {
+    fn default() -> Self {
+        Shutdown {
+            flag: AtomicBool::new(false),
+            wakers: RankedMutex::new(rank::EVENT_WAKERS, Vec::new()),
+        }
+    }
 }
 
 impl Shutdown {
     pub(crate) fn is_set(&self) -> bool {
+        // ORDER: Acquire pairs with the Release store in `trigger`; a worker
+        // that observes the flag also observes everything the shutdown
+        // caller wrote before triggering.
         self.flag.load(Ordering::Acquire)
     }
 
@@ -95,6 +107,7 @@ impl Shutdown {
     }
 
     pub(crate) fn trigger(&self) {
+        // ORDER: Release pairs with the Acquire load in `is_set`.
         self.flag.store(true, Ordering::Release);
         for waker in self.wakers.lock().iter() {
             waker.wake();
@@ -128,14 +141,14 @@ impl ShutdownHandle {
 /// push connections here and wake the worker's poller.
 pub(crate) struct WorkerShared {
     waker: Arc<Waker>,
-    inject: Mutex<Vec<Conn>>,
+    inject: RankedMutex<Vec<Conn>>,
 }
 
 impl WorkerShared {
     fn new() -> std::io::Result<Self> {
         Ok(WorkerShared {
             waker: Arc::new(Waker::new()?),
-            inject: Mutex::new(Vec::new()),
+            inject: RankedMutex::new(rank::EVENT_INJECT, Vec::new()),
         })
     }
 
@@ -177,6 +190,8 @@ pub(crate) fn run_front_end(
             std::thread::Builder::new()
                 .name(format!("abase-io-{idx}"))
                 .spawn(move || worker_loop(idx, shared, ctx, shutdown, idle, all))
+                // INVARIANT: spawn fails only on thread-resource exhaustion at
+                // startup; the server cannot run without its worker pool.
                 .expect("spawn event-loop worker"),
         );
     }
@@ -233,6 +248,7 @@ fn accept_loop(
                 // EMFILE/ENFILE etc: back off instead of spinning on a
                 // level-triggered listener that stays "readable".
                 Err(_) => {
+                    #[allow(clippy::disallowed_methods)]
                     std::thread::sleep(Duration::from_millis(5));
                     break;
                 }
@@ -485,7 +501,9 @@ fn reap_idle(
             continue; // closed since it was scheduled
         };
         if now.duration_since(conn.last_active) >= wheel.timeout {
-            let conn = conns.remove(&token).expect("checked above");
+            let Some(conn) = conns.remove(&token) else {
+                continue;
+            };
             let _ = poller.deregister(conn.stream.as_raw_fd());
             ctx.stats.evicted.fetch_add(1, Ordering::Relaxed);
             metrics::CONN_EVICTED.inc(label);

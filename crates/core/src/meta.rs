@@ -349,6 +349,7 @@ impl MetaServer {
         let mut source_load: HashMap<NodeId, usize> = HashMap::new();
         let mut dest_load: HashMap<NodeId, usize> = HashMap::new();
         for &partition in &affected {
+            // INVARIANT: `affected` was collected from this map's keys above.
             let set = self.replica_sets.get_mut(&partition).expect("affected");
             // 1. Promote if the dead node led this partition.
             if set.leader == failed {

@@ -392,6 +392,8 @@ impl DataNodeSim {
                 let part = self
                     .partitions
                     .get_mut(&req.partition)
+                    // INVARIANT: requests are only admitted for partitions
+                    // registered on this node.
                     .expect("partition exists");
                 part.ru
                     .record_read(req.value_bytes, ReadOutcome::NodeCacheHit);
@@ -419,6 +421,8 @@ impl DataNodeSim {
             let part = self
                 .partitions
                 .get_mut(&req.partition)
+                // INVARIANT: requests are only admitted for partitions
+                // registered on this node.
                 .expect("partition exists");
             part.ru.record_read(req.value_bytes, ReadOutcome::Miss);
             let charged = part.ru.charge_read(req.value_bytes, ReadOutcome::Miss);

@@ -180,6 +180,7 @@ impl ReadRouter {
         let node = *candidates
             .iter()
             .min_by_key(|n| rotation.last_served.get(n).copied().unwrap_or(0))
+            // INVARIANT: the empty-candidates case returned `None` above.
             .expect("candidates checked non-empty above");
         rotation.last_served.insert(node, rotation.clock);
         self.stats.follower_reads += 1;

@@ -36,7 +36,7 @@ use abase_proto::{Command, RespValue, SlowlogSub};
 use abase_replication::{
     socket, ReadConsistency, RemoteFollowerState, ReplicaGroup, ReplicaSource,
 };
-use parking_lot::Mutex;
+use abase_util::lockrank::RankedMutex;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -147,7 +147,7 @@ pub trait ReplicationControl: Send + Sync {
     }
 }
 
-impl ReplicationControl for Mutex<ReplicaGroup> {
+impl ReplicationControl for RankedMutex<ReplicaGroup> {
     fn last_lsn(&self) -> Option<u64> {
         self.lock().leader_db().ok().map(|db| db.last_seq())
     }
@@ -242,7 +242,7 @@ impl ReplicationControl for Mutex<ReplicaGroup> {
 /// streams with the group *unlocked*, so other connections' `WAIT`/commit on
 /// other keys proceed during the transfer.
 fn drive_followers(
-    group: &Mutex<ReplicaGroup>,
+    group: &RankedMutex<ReplicaGroup>,
     lsn: u64,
     numreplicas: usize,
     deadline: Instant,
@@ -267,6 +267,9 @@ fn drive_followers(
         if Instant::now() >= deadline {
             return Ok(status.followers_acked);
         }
+        // This runs on an offload thread, never an event-loop worker, and
+        // the replication plane has no wakeup primitive to wait on yet.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(Duration::from_millis(1));
     }
 }
@@ -945,10 +948,12 @@ fn slowlog_reply(sub: &SlowlogSub, slowlog: &SlowLog) -> RespValue {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may sleep to sequence threads
 mod tests {
     use super::*;
     use abase_lavastore::DbConfig;
     use abase_util::TestDir;
+    use parking_lot::Mutex;
     use std::io::Read;
     use std::sync::atomic::AtomicBool;
 
@@ -1105,7 +1110,7 @@ mod tests {
         )
         .unwrap();
         let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         let server = RespServer::bind(engine, "127.0.0.1:0")
             .unwrap()
             .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
@@ -1186,7 +1191,7 @@ mod tests {
             0,
             5,
         );
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         let waiter = {
             let group = Arc::clone(&group);
             std::thread::spawn(move || {
@@ -1236,7 +1241,7 @@ mod tests {
         )
         .unwrap();
         let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         let server = RespServer::bind(engine, "127.0.0.1:0")
             .unwrap()
             .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
@@ -1295,7 +1300,7 @@ mod tests {
         )
         .unwrap();
         let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         let server = RespServer::bind(engine, "127.0.0.1:0")
             .unwrap()
             .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
@@ -1415,7 +1420,7 @@ mod tests {
         )
         .unwrap();
         let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         group.lock().fail_replica(3).unwrap();
         let server = RespServer::bind(engine, "127.0.0.1:0")
             .unwrap()
@@ -1484,7 +1489,7 @@ mod tests {
         )
         .unwrap();
         let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         let server = RespServer::bind(engine, "127.0.0.1:0")
             .unwrap()
             .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
@@ -1561,7 +1566,7 @@ mod tests {
         )
         .unwrap();
         let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-        let group = Arc::new(Mutex::new(group));
+        let group = Arc::new(group.into_mutex());
         let server = RespServer::bind(engine, "127.0.0.1:0")
             .unwrap()
             .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);

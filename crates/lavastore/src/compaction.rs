@@ -101,10 +101,9 @@ pub fn pick_compaction(
             && !levels[level].is_empty()
         {
             // Oldest file (smallest id) rotates down, plus next-level overlap.
-            let victim = levels[level]
-                .iter()
-                .min_by_key(|m| m.id)
-                .expect("level non-empty");
+            let Some(victim) = levels[level].iter().min_by_key(|m| m.id) else {
+                continue;
+            };
             let mut input_ids = vec![victim.id];
             input_ids.extend(
                 overlapping(levels, level + 1, &victim.min_key, &victim.max_key).map(|m| m.id),

@@ -35,8 +35,8 @@ use crate::sstable::{BlockIo, SstReader, SstWriter};
 use crate::version::{SstMeta, Version};
 use crate::wal::{Wal, WalOptions};
 use abase_util::clock::SimTime;
+use abase_util::lockrank::{rank, RankedMutex, RankedRwLock};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::path::{Path, PathBuf};
@@ -249,7 +249,7 @@ struct ApplyTracker {
     /// visible form a Dekker pair, and one side missing the other's store
     /// would strand a parked seq below an advanced watermark forever.
     parked: AtomicU64,
-    pending: Mutex<BinaryHeap<Reverse<u64>>>,
+    pending: RankedMutex<BinaryHeap<Reverse<u64>>>,
 }
 
 impl ApplyTracker {
@@ -257,16 +257,21 @@ impl ApplyTracker {
         Self {
             visible: AtomicU64::new(visible),
             parked: AtomicU64::new(0),
-            pending: Mutex::new(BinaryHeap::new()),
+            pending: RankedMutex::new(rank::APPLY_PENDING, BinaryHeap::new()),
         }
     }
 
     fn visible(&self) -> u64 {
+        // ORDER: Acquire pairs with the SeqCst publishes of `visible` in
+        // `complete`/`drain_locked`; a reader that observes seq N also
+        // observes every memtable apply that preceded N's completion.
         self.visible.load(Ordering::Acquire)
     }
 
     fn complete(&self, seq: u64) {
         loop {
+            // ORDER: SeqCst; all `visible`/`parked` accesses in this tracker
+            // share one total order (the Dekker pairing described above).
             let v = self.visible.load(Ordering::SeqCst);
             if seq <= v {
                 return;
@@ -274,10 +279,16 @@ impl ApplyTracker {
             if seq == v + 1 {
                 if self
                     .visible
+                    // ORDER: SeqCst CAS pairs with the park path's
+                    // store-parked-then-load-visible below: whoever is
+                    // ordered second in the single total order sees the
+                    // other's write, so no parked seq is stranded.
                     .compare_exchange(v, seq, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
                     // Our advance may have unblocked parked successors.
+                    // ORDER: SeqCst load, the second half of the fast path's
+                    // CAS-then-load-parked Dekker arm.
                     if self.parked.load(Ordering::SeqCst) > 0 {
                         let mut pending = self.pending.lock();
                         self.drain_locked(&mut pending);
@@ -288,6 +299,9 @@ impl ApplyTracker {
             } else {
                 let mut pending = self.pending.lock();
                 pending.push(Reverse(seq));
+                // ORDER: SeqCst store-parked precedes the load-visible in
+                // `drain_locked` — the park path's Dekker arm against the
+                // fast path's CAS-then-load-parked above.
                 self.parked.store(pending.len() as u64, Ordering::SeqCst);
                 // Re-check under the lock: `visible` may have reached
                 // `seq - 1` while we were parking, and that completer may
@@ -305,14 +319,20 @@ impl ApplyTracker {
     /// exactly once) — no concurrent advance can interleave.
     fn drain_locked(&self, pending: &mut BinaryHeap<Reverse<u64>>) {
         loop {
+            // ORDER: SeqCst load-visible after the caller's store-parked —
+            // the second half of the park path's Dekker arm.
             let v = self.visible.load(Ordering::SeqCst);
             if pending.peek() == Some(&Reverse(v + 1)) {
                 pending.pop();
+                // ORDER: SeqCst publish; pairs with the Acquire in
+                // `visible()` and the SeqCst loads in `complete`.
                 self.visible.store(v + 1, Ordering::SeqCst);
             } else {
                 break;
             }
         }
+        // ORDER: SeqCst; keeps `parked` in the tracker's single total order
+        // so a racing completer cannot miss a still-parked seq.
         self.parked.store(pending.len() as u64, Ordering::SeqCst);
     }
 }
@@ -348,10 +368,10 @@ pub struct Db {
     n_stripes: usize,
     /// The shared group-commit WAL — also the engine's one LSN allocator.
     log: Wal,
-    stripes: Vec<RwLock<Stripe>>,
+    stripes: Vec<RankedRwLock<Stripe>>,
     marks: Vec<StripeMarks>,
     tracker: ApplyTracker,
-    shared: Mutex<Shared>,
+    shared: RankedMutex<Shared>,
     stats: StatsInner,
     /// One data-block cache shared by every stripe's readers (None = off).
     block_cache: Option<Arc<BlockCache>>,
@@ -489,14 +509,20 @@ impl Db {
             config,
             n_stripes,
             log,
-            stripes: stripes.into_iter().map(RwLock::new).collect(),
+            stripes: stripes
+                .into_iter()
+                .map(|s| RankedRwLock::new(rank::LAVASTORE_STRIPE, s))
+                .collect(),
             marks,
             tracker: ApplyTracker::new(next_seq - 1),
-            shared: Mutex::new(Shared {
-                version,
-                live_segment,
-                rotated,
-            }),
+            shared: RankedMutex::new(
+                rank::LAVASTORE_SHARED,
+                Shared {
+                    version,
+                    live_segment,
+                    rotated,
+                },
+            ),
             stats: StatsInner::default(),
             block_cache,
         })
@@ -544,6 +570,9 @@ impl Db {
         };
         self.marks[s]
             .highest_applied
+            // ORDER: AcqRel; the Release half publishes the memtable apply
+            // above to `advance_floor_locked`'s Acquire load, so a floor
+            // computed from this mark never outruns the stripe's contents.
             .fetch_max(seq, Ordering::AcqRel);
         self.tracker.complete(seq);
         if over_threshold {
@@ -610,6 +639,8 @@ impl Db {
         };
         self.marks[s]
             .highest_applied
+            // ORDER: AcqRel; same pairing as `write_record` — publishes the
+            // apply to `advance_floor_locked`'s Acquire load.
             .fetch_max(record.seq, Ordering::AcqRel);
         self.tracker.complete(record.seq);
         match record.kind {
@@ -707,6 +738,8 @@ impl Db {
             std::fs::create_dir_all(&pin_dir)?;
             let mut pinned: Vec<(PathBuf, PathBuf)> = Vec::new(); // (pin, dest name)
             let mut pin = |src: PathBuf, dest_name: PathBuf| -> Result<()> {
+                // INVARIANT: every pinned path is built by sst_path/wal_path,
+                // which always append a file name component.
                 let pinned_path = pin_dir.join(src.file_name().expect("data files have names"));
                 std::fs::hard_link(&src, &pinned_path)?;
                 pinned.push((pinned_path, dest_name));
@@ -959,6 +992,8 @@ impl Db {
         // out, this stripe is flushed through v.
         let v = self.tracker.visible();
         if stripe.memtable.is_empty() {
+            // ORDER: AcqRel; Release publishes "flushed through v" to the
+            // Acquire load in `advance_floor_locked` before the floor moves.
             self.marks[s].flushed_through.fetch_max(v, Ordering::AcqRel);
             let mut shared = self.shared.lock();
             return self.advance_floor_locked(&mut shared);
@@ -1012,6 +1047,8 @@ impl Db {
                 shared.rotated.push((old, end_seq));
                 shared.live_segment = new_segment;
             }
+            // ORDER: AcqRel; Release publishes the completed SST write to
+            // the Acquire load in `advance_floor_locked`.
             self.marks[s].flushed_through.fetch_max(v, Ordering::AcqRel);
             self.advance_floor_locked(&mut shared)?;
         }
@@ -1034,6 +1071,9 @@ impl Db {
         let v = self.tracker.visible();
         let mut min_cov = u64::MAX;
         for marks in &self.marks {
+            // ORDER: Acquire pair with the AcqRel fetch_max publishes in
+            // `flush_stripe`/`write_record`: a mark observed here implies
+            // the flush/apply it describes is visible too.
             let ft = marks.flushed_through.load(Ordering::Acquire);
             let ha = marks.highest_applied.load(Ordering::Acquire);
             // A stripe with nothing unflushed covers the whole visible
@@ -1122,10 +1162,13 @@ impl Db {
                     )?;
                     writer = Some((id, w, 0));
                 }
+                // INVARIANT: the block above creates the writer when None;
+                // it is Some on every path reaching here.
                 let (_, w, bytes) = writer.as_mut().expect("writer just ensured");
                 w.add(record)?;
                 *bytes += record.approximate_size() as u64;
                 if *bytes >= self.config.target_sst_bytes {
+                    // INVARIANT: guarded by the same writer.is_some() flow.
                     let (id, w, _) = writer.take().expect("writer present");
                     finish(id, w, &mut new_metas)?;
                 }

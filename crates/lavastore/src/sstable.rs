@@ -118,6 +118,8 @@ impl SstWriter {
         let last_key = self
             .last_key_in_block
             .take()
+            // INVARIANT: `add` records a last key with every entry, and the
+            // empty-block case returned above.
             .expect("non-empty block has a last key");
         // Restart-point trailer: record start offsets + their count, so
         // readers can binary-search the block instead of scanning it.

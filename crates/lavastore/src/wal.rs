@@ -39,7 +39,7 @@ use crate::metrics;
 use crate::record::Record;
 use abase_obs::Timer;
 use abase_util::failpoint::{self, FaultAction};
-use parking_lot::{Condvar, Mutex};
+use abase_util::lockrank::{rank, RankedCondvar, RankedMutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -101,8 +101,8 @@ struct WalState {
 /// An append-only record log with group commit.
 #[derive(Debug)]
 pub struct Wal {
-    state: Mutex<WalState>,
-    cond: Condvar,
+    state: RankedMutex<WalState>,
+    cond: RankedCondvar,
     opts: WalOptions,
 }
 
@@ -156,21 +156,24 @@ impl Wal {
             .truncate(true)
             .open(path)?;
         Ok(Self {
-            state: Mutex::new(WalState {
-                file,
-                segment,
-                context: path.display().to_string(),
-                buf: Vec::new(),
-                appended: 0,
-                flushed: 0,
-                durable_seq: next_seq.saturating_sub(1),
-                next_seq,
-                frames_unsynced: 0,
-                last_flush: Instant::now(),
-                syncing: false,
-                poisoned: false,
-            }),
-            cond: Condvar::new(),
+            state: RankedMutex::new(
+                rank::WAL_STATE,
+                WalState {
+                    file,
+                    segment,
+                    context: path.display().to_string(),
+                    buf: Vec::new(),
+                    appended: 0,
+                    flushed: 0,
+                    durable_seq: next_seq.saturating_sub(1),
+                    next_seq,
+                    frames_unsynced: 0,
+                    last_flush: Instant::now(),
+                    syncing: false,
+                    poisoned: false,
+                },
+            ),
+            cond: RankedCondvar::new(),
             opts,
         })
     }

@@ -10,10 +10,11 @@
 //! bench compares against.
 
 use crate::metric::{Counter, Gauge, Histo};
+use abase_util::lockrank::{rank, RankedMutex, RankedRwLock};
 use abase_util::LatencyHistogram;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock, RwLock};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
@@ -28,7 +29,10 @@ pub fn enabled() -> bool {
 /// Turn recording on/off process-wide. Off = the no-op registry (used by the
 /// overhead bench to measure what instrumentation costs).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+    // Relaxed on purpose (downgraded from SeqCst): the flag is advisory —
+    // every record path already reads it Relaxed, and no data is published
+    // through it, so the stronger ordering bought nothing.
+    ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// What a registered name is.
@@ -59,7 +63,7 @@ impl MetricKind {
 #[derive(Debug)]
 pub struct Family<T: 'static> {
     label_key: &'static str,
-    members: RwLock<BTreeMap<String, &'static T>>,
+    members: RankedRwLock<BTreeMap<String, &'static T>>,
     make: fn() -> T,
 }
 
@@ -67,7 +71,7 @@ impl<T: 'static> Family<T> {
     fn new(label_key: &'static str, make: fn() -> T) -> Self {
         Self {
             label_key,
-            members: RwLock::new(BTreeMap::new()),
+            members: RankedRwLock::new(rank::OBS_FAMILY, BTreeMap::new()),
             make,
         }
     }
@@ -79,10 +83,10 @@ impl<T: 'static> Family<T> {
 
     /// The member for `label`, interning it on first use.
     pub fn with(&self, label: &str) -> &'static T {
-        if let Some(m) = self.members.read().unwrap().get(label) {
+        if let Some(m) = self.members.read().get(label) {
             return m;
         }
-        let mut members = self.members.write().unwrap();
+        let mut members = self.members.write();
         members
             .entry(label.to_string())
             .or_insert_with(|| Box::leak(Box::new((self.make)())))
@@ -92,7 +96,6 @@ impl<T: 'static> Family<T> {
     pub fn members(&self) -> Vec<(String, &'static T)> {
         self.members
             .read()
-            .unwrap()
             .iter()
             .map(|(k, &v)| (k.clone(), v))
             .collect()
@@ -138,13 +141,13 @@ pub struct Entry {
     pub handle: Handle,
 }
 
-fn metrics() -> &'static Mutex<BTreeMap<&'static str, Entry>> {
-    static METRICS: OnceLock<Mutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
-    METRICS.get_or_init(|| Mutex::new(BTreeMap::new()))
+fn metrics() -> &'static RankedMutex<BTreeMap<&'static str, Entry>> {
+    static METRICS: OnceLock<RankedMutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
+    METRICS.get_or_init(|| RankedMutex::new(rank::OBS_REGISTRY, BTreeMap::new()))
 }
 
 fn register(name: &'static str, help: &'static str, make: impl FnOnce() -> Handle) -> Handle {
-    let mut map = metrics().lock().unwrap();
+    let mut map = metrics().lock();
     if let Some(existing) = map.get(name) {
         return existing.handle;
     }
@@ -155,7 +158,7 @@ fn register(name: &'static str, help: &'static str, make: impl FnOnce() -> Handl
 
 /// Every registered entry, sorted by name.
 pub fn entries() -> Vec<Entry> {
-    metrics().lock().unwrap().values().copied().collect()
+    metrics().lock().values().copied().collect()
 }
 
 /// A point-in-time scalar view of the registry, for assertions and deltas.

@@ -9,9 +9,9 @@
 //! other's slow ops.
 
 use crate::span::SpanReport;
+use abase_util::lockrank::{rank, RankedMutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Default capture threshold: 10 ms, Redis's default `slowlog-log-slower-than`.
@@ -41,7 +41,7 @@ pub struct SlowLog {
     threshold_micros: AtomicI64,
     next_id: AtomicU64,
     capacity: usize,
-    entries: Mutex<VecDeque<SlowEntry>>,
+    entries: RankedMutex<VecDeque<SlowEntry>>,
 }
 
 impl Default for SlowLog {
@@ -58,7 +58,7 @@ impl SlowLog {
             threshold_micros: AtomicI64::new(threshold_micros),
             next_id: AtomicU64::new(0),
             capacity: capacity.max(1),
-            entries: Mutex::new(VecDeque::new()),
+            entries: RankedMutex::new(rank::OBS_SLOWLOG, VecDeque::new()),
         }
     }
 
@@ -90,7 +90,7 @@ impl SlowLog {
             command: command(),
             stages: report.stages().collect(),
         };
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock();
         if entries.len() == self.capacity {
             entries.pop_front();
         }
@@ -101,7 +101,6 @@ impl SlowLog {
     pub fn get(&self, count: usize) -> Vec<SlowEntry> {
         self.entries
             .lock()
-            .unwrap()
             .iter()
             .rev()
             .take(count)
@@ -111,7 +110,7 @@ impl SlowLog {
 
     /// Number of captured entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries.lock().len()
     }
 
     /// Is the log empty?
@@ -121,7 +120,7 @@ impl SlowLog {
 
     /// Drop every entry (ids keep increasing, like Redis).
     pub fn reset(&self) {
-        self.entries.lock().unwrap().clear();
+        self.entries.lock().clear();
     }
 }
 

@@ -93,7 +93,9 @@ impl Binlog {
         }
         let mut out = Vec::new();
         loop {
-            let segment = self.segment.expect("segment set above");
+            let Some(segment) = self.segment else {
+                return Ok(Poll::Records(out));
+            };
             let path = Wal::segment_path(&self.dir, segment);
             match Wal::replay_from(&path, self.offset) {
                 Ok((records, cursor)) => {

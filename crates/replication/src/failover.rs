@@ -12,7 +12,7 @@
 //! chunk, so wall-clock comparisons between the two strategies reflect disk
 //! parallelism rather than incidental filesystem noise.
 
-use crate::Result;
+use crate::{Error, Result};
 use abase_lavastore::Db;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -129,7 +129,9 @@ pub fn reconstruct_parallel(
     let mut replicas = 0usize;
     let mut bytes_copied = 0u64;
     for handle in handles {
-        let (r, b) = handle.join().expect("reconstruction worker panicked")?;
+        let (r, b) = handle
+            .join()
+            .map_err(|_| Error::Transport("reconstruction worker panicked".into()))??;
         replicas += r;
         bytes_copied += b;
     }

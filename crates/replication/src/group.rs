@@ -107,6 +107,10 @@ impl RemoteFollowerState {
     /// pre-wipe ack, drained late from the old socket, resurrect a
     /// watermark covering records it no longer holds.
     pub fn record_ack(&self, generation: u64, lsn: Lsn) {
+        // ORDER: SeqCst; `generation`/`acked`/`connected` share one total
+        // order with `register_remote_follower`'s bump-then-reset, so a
+        // stale connection that passes this check can never have its ack
+        // land after the new generation's `acked.store(0)`.
         if self.generation.load(Ordering::SeqCst) == generation {
             self.acked.fetch_max(lsn, Ordering::SeqCst);
         }
@@ -114,6 +118,9 @@ impl RemoteFollowerState {
 
     /// Highest LSN the remote follower has acknowledged.
     pub fn acked(&self) -> Lsn {
+        // ORDER: SeqCst; reads the same total order `record_ack` and the
+        // reconnect reset write into (quorum math must not see a pre-reset
+        // watermark after observing the new generation).
         self.acked.load(Ordering::SeqCst)
     }
 
@@ -122,6 +129,9 @@ impl RemoteFollowerState {
     /// counting. Disconnected remotes stop counting toward write concerns
     /// immediately.
     pub fn disconnect(&self, generation: u64) {
+        // ORDER: SeqCst; same total order as `register_remote_follower` —
+        // a superseded connection's late death must observe the bumped
+        // generation and become a no-op.
         if self.generation.load(Ordering::SeqCst) == generation {
             self.connected.store(false, Ordering::SeqCst);
         }
@@ -129,6 +139,9 @@ impl RemoteFollowerState {
 
     /// Is the replica connection currently up?
     pub fn is_connected(&self) -> bool {
+        // ORDER: SeqCst; pairs with the stores in `disconnect` and
+        // `register_remote_follower` so liveness flips are totally ordered
+        // against generation bumps.
         self.connected.load(Ordering::SeqCst)
     }
 }
@@ -333,6 +346,17 @@ impl std::fmt::Debug for ReplicaGroup {
 }
 
 impl ReplicaGroup {
+    /// Wrap the group in its ranked mutex ([`rank::REPLICA_GROUP`]): the
+    /// group lock is held across follower pumps that apply into their
+    /// stores, so it sits *outside* every storage-engine lock in the global
+    /// lock order. Every shared `Mutex<ReplicaGroup>` in the workspace is
+    /// built through this so the rank is declared in exactly one place.
+    ///
+    /// [`rank::REPLICA_GROUP`]: abase_util::lockrank::rank::REPLICA_GROUP
+    pub fn into_mutex(self) -> abase_util::lockrank::RankedMutex<ReplicaGroup> {
+        abase_util::lockrank::RankedMutex::new(abase_util::lockrank::rank::REPLICA_GROUP, self)
+    }
+
     /// Create a fresh group for `partition` under `base_dir`: the first id in
     /// `replica_ids` starts as leader, the rest as followers, each replica in
     /// `base_dir/p<partition>-r<id>`.
@@ -506,12 +530,16 @@ impl ReplicaGroup {
             // Bump the generation *before* resetting the watermark: from
             // that instant the old connection's generation-checked acks are
             // refused, so they cannot land after the reset.
+            // ORDER: SeqCst; the bump-then-reset must be totally ordered
+            // against `record_ack`'s check-then-fetch_max — with anything
+            // weaker an old-generation ack could interleave after the reset.
             let generation = existing.state.generation.fetch_add(1, Ordering::SeqCst) + 1;
             existing.state.acked.store(0, Ordering::SeqCst);
             existing.state.connected.store(true, Ordering::SeqCst);
             return Ok((Arc::clone(&existing.state), generation));
         }
         let state = Arc::new(RemoteFollowerState::default());
+        // ORDER: SeqCst; same total order as the reconnect arm above.
         let generation = state.generation.fetch_add(1, Ordering::SeqCst) + 1;
         state.connected.store(true, Ordering::SeqCst);
         self.remotes.push(RemoteFollower {

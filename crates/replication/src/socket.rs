@@ -457,9 +457,11 @@ pub fn serve_replica_stream(
             let pre_poll = binlog.position();
             match LogTransport::poll(binlog).map_err(io_other)? {
                 Poll::Records(records) if !records.is_empty() => {
-                    let (segment, offset) = binlog
-                        .position()
-                        .expect("a cursor that returned records has a position");
+                    let (segment, offset) = binlog.position().ok_or_else(|| {
+                        io_other(Error::Transport(
+                            "binlog cursor lost its position after returning records".into(),
+                        ))
+                    })?;
                     let resume = pre_poll.unwrap_or((segment, offset));
                     let mut shipper = Shipper {
                         stream: &mut stream,
@@ -851,7 +853,10 @@ impl LogTransport for SocketTransport {
         }
         self.streaming = false;
         {
-            let stream = self.stream.as_mut().expect("connected above");
+            let stream = self
+                .stream
+                .as_mut()
+                .ok_or_else(|| Error::Transport("stream closed before resync handshake".into()))?;
             stream
                 .write_all(&Command::PSync { position: None }.to_resp().to_bytes())
                 .map_err(|e| transport_err("PSYNC ? -1", e))?;
@@ -859,7 +864,10 @@ impl LogTransport for SocketTransport {
         let deadline = Instant::now() + FETCH_TIMEOUT;
         // Await FULLRESYNC, skipping stale BATCH frames still in flight.
         loop {
-            let stream = self.stream.as_mut().expect("connected above");
+            let stream = self
+                .stream
+                .as_mut()
+                .ok_or_else(|| Error::Transport("stream closed during resync handshake".into()))?;
             let remaining = deadline.saturating_duration_since(Instant::now());
             match read_frame(stream, &mut self.buffer, remaining).map_err(self_heal_err) {
                 Ok(Some(value)) => match decode_stream_frame(&value)? {
@@ -951,7 +959,7 @@ pub fn anonymous_replica_id() -> u32 {
 /// (and harnesses) that dedicate a raw socket to replication.
 pub fn serve_group_replica(
     mut stream: TcpStream,
-    group: &parking_lot::Mutex<crate::ReplicaGroup>,
+    group: &abase_util::lockrank::RankedMutex<crate::ReplicaGroup>,
 ) -> Result<()> {
     stream.set_nodelay(true).ok();
     let mut buffer = Vec::new();
@@ -1217,8 +1225,8 @@ impl SocketFollower {
 mod tests {
     use super::*;
     use crate::group::{GroupConfig, ReplicaGroup, WriteConcern};
+    use abase_util::lockrank::RankedMutex as Mutex;
     use abase_util::TestDir;
-    use parking_lot::Mutex;
     use std::net::TcpListener;
 
     /// A minimal leader endpoint: every accepted connection is served as a
@@ -1250,7 +1258,7 @@ mod tests {
             },
         )
         .unwrap();
-        Arc::new(Mutex::new(group))
+        Arc::new(group.into_mutex())
     }
 
     #[test]

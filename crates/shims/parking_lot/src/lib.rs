@@ -8,6 +8,9 @@
 //! parking_lot's no-poisoning semantics.
 
 #![deny(missing_docs)]
+// The workspace-wide clippy config bans std::sync lock types everywhere
+// else; this shim is their one allowed home.
+#![allow(clippy::disallowed_types)]
 
 use std::sync;
 use std::time::Duration;
@@ -151,6 +154,10 @@ impl Condvar {
 
 /// Replace `*slot` through a consuming closure (aborts on panic mid-swap).
 fn take_mut<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    // SAFETY: `slot` is exclusively borrowed, so nothing can observe the
+    // moment the value is moved out. Every exit path restores a valid value
+    // before returning: `f` panicking aborts the process instead of
+    // unwinding past the hole.
     unsafe {
         let old = std::ptr::read(slot);
         let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old)))

@@ -27,9 +27,10 @@
 //! assert_eq!(failpoint::check("doc.example", "some ctx-a path"), None); // spent
 //! ```
 
+use crate::lockrank::{rank, RankedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// What a triggered fail point should do. Interpretation is site-specific;
@@ -84,17 +85,24 @@ struct FaultRule {
 }
 
 /// The process-global fail-point registry.
-#[derive(Debug, Default)]
+///
+/// The two lock ranks are the innermost in the workspace: `check` is called
+/// while WAL/stripe/group locks are held, so these must outrank all of them.
+#[derive(Debug)]
 pub struct FaultInjector {
     enabled: AtomicBool,
-    rules: Mutex<HashMap<&'static str, Vec<FaultRule>>>,
+    rules: RankedMutex<HashMap<&'static str, Vec<FaultRule>>>,
     /// Total fired faults per point, for harness assertions.
-    fired: Mutex<HashMap<&'static str, u64>>,
+    fired: RankedMutex<HashMap<&'static str, u64>>,
 }
 
 fn injector() -> &'static FaultInjector {
     static INJECTOR: OnceLock<FaultInjector> = OnceLock::new();
-    INJECTOR.get_or_init(FaultInjector::default)
+    INJECTOR.get_or_init(|| FaultInjector {
+        enabled: AtomicBool::new(false),
+        rules: RankedMutex::new(rank::FAILPOINT_RULES, HashMap::new()),
+        fired: RankedMutex::new(rank::FAILPOINT_FIRED, HashMap::new()),
+    })
 }
 
 impl FaultInjector {
@@ -112,22 +120,26 @@ pub fn enabled() -> bool {
 
 /// Turn the injector on (rules start being consulted).
 pub fn enable() {
-    injector().enabled.store(true, Ordering::SeqCst);
+    // Relaxed on purpose (downgraded from SeqCst): rule visibility is
+    // carried by the `rules` mutex, not this flag — a site that reads the
+    // flag early simply skips one check, which injection never precludes.
+    injector().enabled.store(true, Ordering::Relaxed);
 }
 
 /// Turn the injector off and drop every rule and counter.
 pub fn disable() {
     let inj = injector();
-    inj.enabled.store(false, Ordering::SeqCst);
-    inj.rules.lock().unwrap().clear();
-    inj.fired.lock().unwrap().clear();
+    // Relaxed on purpose: see `enable` — the rules mutex carries the sync.
+    inj.enabled.store(false, Ordering::Relaxed);
+    inj.rules.lock().clear();
+    inj.fired.lock().clear();
 }
 
 /// Drop all rules and counters but keep the injector enabled.
 pub fn clear() {
     let inj = injector();
-    inj.rules.lock().unwrap().clear();
-    inj.fired.lock().unwrap().clear();
+    inj.rules.lock().clear();
+    inj.fired.lock().clear();
 }
 
 /// Install a rule at `point`: fire `action` on up to `count` hits whose
@@ -143,7 +155,6 @@ pub fn install(
     injector()
         .rules
         .lock()
-        .unwrap()
         .entry(point)
         .or_default()
         .push(FaultRule {
@@ -161,7 +172,7 @@ pub fn check(point: &'static str, context: &str) -> Option<FaultAction> {
     if !inj.is_enabled() {
         return None;
     }
-    let mut rules = inj.rules.lock().unwrap();
+    let mut rules = inj.rules.lock();
     let list = rules.get_mut(point)?;
     for rule in list.iter_mut() {
         let matches = rule
@@ -178,7 +189,7 @@ pub fn check(point: &'static str, context: &str) -> Option<FaultAction> {
         rule.remaining -= 1;
         let action = rule.action;
         drop(rules);
-        *inj.fired.lock().unwrap().entry(point).or_default() += 1;
+        *inj.fired.lock().entry(point).or_default() += 1;
         if let FaultAction::DelayMs(ms) = action {
             std::thread::sleep(Duration::from_millis(ms));
         }
@@ -189,13 +200,7 @@ pub fn check(point: &'static str, context: &str) -> Option<FaultAction> {
 
 /// How many faults have fired at `point` since the last [`clear`]/[`disable`].
 pub fn fired(point: &'static str) -> u64 {
-    injector()
-        .fired
-        .lock()
-        .unwrap()
-        .get(point)
-        .copied()
-        .unwrap_or(0)
+    injector().fired.lock().get(point).copied().unwrap_or(0)
 }
 
 /// Every point that has fired since the last [`clear`]/[`disable`], with its
@@ -206,7 +211,6 @@ pub fn fired_counts() -> Vec<(&'static str, u64)> {
     let mut counts: Vec<(&'static str, u64)> = injector()
         .fired
         .lock()
-        .unwrap()
         .iter()
         .map(|(&point, &n)| (point, n))
         .collect();

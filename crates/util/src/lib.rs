@@ -17,12 +17,17 @@
 //! * [`poller`] — a thin epoll wrapper (raw syscall bindings, no external
 //!   crates) behind a safe `Poller`/`Waker` API: the readiness engine under
 //!   the event-driven RESP front end.
+//! * [`lockrank`] — ranked lock wrappers that turn the documented lock
+//!   acquisition order into a runtime-checked invariant: any ordering
+//!   inversion panics with both acquisition stacks under
+//!   `debug_assertions` or the `lock-order-check` feature.
 
 #![deny(missing_docs)]
 
 pub mod clock;
 pub mod failpoint;
 pub mod histogram;
+pub mod lockrank;
 pub mod poller;
 pub mod series;
 pub mod stats;
@@ -30,6 +35,7 @@ pub mod testdir;
 
 pub use clock::{SimClock, SimTime, Ticks};
 pub use histogram::LatencyHistogram;
+pub use lockrank::{Rank, RankedCondvar, RankedMutex, RankedRwLock};
 pub use poller::{Event, Events, Interest, Poller, Waker};
 pub use series::{hour_of_day_profile, Aggregation, TimeSeries};
 pub use stats::{percentile, percentile_sorted, Ewma, MovingAverage, OnlineStats, WindowedRate};

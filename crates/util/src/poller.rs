@@ -211,6 +211,8 @@ pub struct Poller {
 impl Poller {
     /// Create a fresh epoll instance (close-on-exec).
     pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; the flag is a valid
+        // constant and the return value is checked below.
         let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(os_error());
@@ -223,6 +225,9 @@ impl Poller {
             events: interest.map_or(0, |i| i.mask()),
             data: token,
         };
+        // SAFETY: `ev` is a live, properly initialised EpollEvent for the
+        // duration of the call; the kernel only reads it. `self.epfd` is a
+        // valid epoll fd until Drop.
         let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(os_error());
@@ -258,6 +263,9 @@ impl Poller {
                     + i32::from(t.subsec_micros() % 1000 != 0)
             }
         };
+        // SAFETY: the out-pointer and capacity describe `events.buf`'s
+        // allocation exactly; the kernel writes at most `buf.len()` entries
+        // and `events.len` is set only from the returned count.
         let n = unsafe {
             epoll_wait(
                 self.epfd,
@@ -281,13 +289,18 @@ impl Poller {
 
 impl Drop for Poller {
     fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by epoll_create1, is owned solely by
+        // this Poller, and is closed exactly once (Drop consumes self).
         unsafe { close(self.epfd) };
     }
 }
 
-// Registration and polling are plain syscalls on an fd; epoll is inherently
-// multi-thread-safe.
+// SAFETY: Poller holds only an owned epoll fd. Registration and polling are
+// plain syscalls on that fd, and the kernel serialises concurrent epoll_ctl/
+// epoll_wait calls on the same instance — no thread affinity, no shared
+// mutable state on the Rust side.
 unsafe impl Send for Poller {}
+// SAFETY: see Send above — `&Poller` only ever issues thread-safe syscalls.
 unsafe impl Sync for Poller {}
 
 // ---------------------------------------------------------------------------
@@ -307,6 +320,8 @@ pub struct Waker {
 impl Waker {
     /// A fresh, non-blocking eventfd.
     pub fn new() -> io::Result<Self> {
+        // SAFETY: eventfd takes no pointers; flags are valid constants and
+        // the return value is checked below.
         let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
         if fd < 0 {
             return Err(os_error());
@@ -325,23 +340,32 @@ impl Waker {
         let one: u64 = 1;
         // An EAGAIN here means the counter is already at max — the wake is
         // already pending, which is all the caller wants.
+        // SAFETY: the buffer is a live 8-byte u64 on this stack frame, the
+        // exact width an eventfd write requires; `fd` is owned until Drop.
         unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
     }
 
     /// Consume pending wakes so the next poll blocks again.
     pub fn drain(&self) {
         let mut buf = [0u8; 8];
+        // SAFETY: `buf` is a live 8-byte stack array, the exact width an
+        // eventfd read produces; `fd` is owned until Drop.
         unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
     }
 }
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: `fd` was returned by eventfd, is owned solely by this
+        // Waker, and is closed exactly once (Drop consumes self).
         unsafe { close(self.fd) };
     }
 }
 
+// SAFETY: Waker holds only an owned eventfd; write/read on an eventfd are
+// atomic kernel operations, explicitly safe from any thread.
 unsafe impl Send for Waker {}
+// SAFETY: see Send above — `&Waker` only ever issues thread-safe syscalls.
 unsafe impl Sync for Waker {}
 
 // ---------------------------------------------------------------------------
@@ -357,6 +381,8 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
         rlim_cur: 0,
         rlim_max: 0,
     };
+    // SAFETY: `rl` is a live, initialised RLimit matching the kernel ABI;
+    // the kernel writes both fields.
     if unsafe { getrlimit(RLIMIT_NOFILE, &mut rl) } < 0 {
         return Err(os_error());
     }
@@ -368,6 +394,8 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
         rlim_cur: target,
         rlim_max: rl.rlim_max,
     };
+    // SAFETY: `new` is a live, fully initialised RLimit; the kernel only
+    // reads it.
     if unsafe { setrlimit(RLIMIT_NOFILE, &new) } < 0 {
         return Err(os_error());
     }

@@ -29,7 +29,6 @@ use abase::core::{ReplInfo, ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
 use abase::proto::RespValue;
 use abase::replication::{FollowerPump, GroupConfig, ReplicaGroup, SocketFollower, WriteConcern};
-use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
@@ -58,7 +57,7 @@ fn run_leader(dir: &str) -> Result<(), Box<dyn std::error::Error>> {
         GroupConfig::new(WriteConcern::Quorum, DbConfig::small_for_tests()),
     )?;
     let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
-    let group = Arc::new(Mutex::new(group));
+    let group = Arc::new(group.into_mutex());
     let server = RespServer::bind(engine, "127.0.0.1:0")?
         .with_replication(group as Arc<dyn ReplicationControl>);
     println!("ADDR {}", server.local_addr()?);

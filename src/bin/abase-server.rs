@@ -31,7 +31,6 @@
 use abase::core::{ReplInfo, ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
 use abase::replication::{FollowerPump, GroupConfig, ReplicaGroup, SocketFollower, WriteConcern};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -149,7 +148,7 @@ fn run_replicated(
         GroupConfig::new(WriteConcern::Quorum, db_config_from_env()),
     )?;
     let engine = Arc::new(TableEngine::from_db(group.leader_db()?));
-    let group = Arc::new(Mutex::new(group));
+    let group = Arc::new(group.into_mutex());
     let server = apply_front_end_env(
         RespServer::bind(Arc::clone(&engine), addr)?
             .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>),

@@ -12,7 +12,6 @@ use abase::core::{ReplicationControl, RespServer, TableEngine};
 use abase::lavastore::DbConfig;
 use abase::proto::RespValue;
 use abase::replication::{GroupConfig, ReplicaGroup, SocketFollower, WriteConcern};
-use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -336,7 +335,7 @@ fn psync_hands_the_socket_off_the_single_worker_event_loop() {
     )
     .unwrap();
     let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-    let group = Arc::new(Mutex::new(group));
+    let group = Arc::new(group.into_mutex());
     // ONE worker: if PSYNC parked the replica stream on the event loop, the
     // regular client below could never be served concurrently.
     let server = RespServer::bind(engine, "127.0.0.1:0")

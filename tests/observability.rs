@@ -13,7 +13,6 @@ use abase::obs::SlowLog;
 use abase::proto::RespValue;
 use abase::replication::{GroupConfig, ReplicaGroup, WriteConcern};
 use abase::util::failpoint::{self, FaultAction};
-use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -123,7 +122,7 @@ fn info_replication_on_a_leader_lists_followers_and_lsn() {
     )
     .unwrap();
     let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-    let group = Arc::new(Mutex::new(group));
+    let group = Arc::new(group.into_mutex());
     let server = RespServer::bind(engine, "127.0.0.1:0")
         .unwrap()
         .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);

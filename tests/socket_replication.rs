@@ -12,7 +12,6 @@ use abase::proto::RespValue;
 use abase::replication::{
     GroupConfig, LogTransport, ReplicaGroup, SocketFollower, SocketTransport, WriteConcern,
 };
-use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -73,7 +72,7 @@ fn follower_restart_resumes_and_retention_falloff_fullresyncs() {
     )
     .unwrap();
     let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-    let group = Arc::new(Mutex::new(group));
+    let group = Arc::new(group.into_mutex());
     let server = RespServer::bind(engine, "127.0.0.1:0")
         .unwrap()
         .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
@@ -207,7 +206,7 @@ fn quorum_commit_latency_is_not_gated_by_the_wait_timeout() {
     )
     .unwrap();
     let engine = Arc::new(TableEngine::from_db(group.leader_db().unwrap()));
-    let group = Arc::new(Mutex::new(group));
+    let group = Arc::new(group.into_mutex());
     let server = RespServer::bind(engine, "127.0.0.1:0")
         .unwrap()
         .with_replication(Arc::clone(&group) as Arc<dyn ReplicationControl>);
